@@ -1,0 +1,382 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 regenerates every figure of the paper's evaluation (there are no
+   result tables in the paper; Table 1 is pseudocode) and prints the series
+   each figure plots.  Part 2 runs bechamel micro-benchmarks of the
+   scheduling decision (the quantity Fig. 9 profiles), the baselines, the
+   flag-policy ablation, and the supporting substrates.
+
+   Run with: dune exec bench/main.exe [-- --quick] *)
+
+open Bechamel
+module E = Midrr_experiments
+open Midrr_core
+
+let quick =
+  Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
+
+let section title =
+  Format.printf "@.============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "============================================================@."
+
+(* --- Part 1: figure reproductions ------------------------------------- *)
+
+let reproduce_figures () =
+  section "Figure 1 / Section 1 examples";
+  Format.printf "%a@." E.Fig1.print (E.Fig1.run ());
+  section "Theorem 1 (Section 2.1) counterexample";
+  Format.printf "%a@." E.Theorem1.print (E.Theorem1.run ());
+  section "Figures 6 and 8: simulation of 3 flows over 2 interfaces";
+  let fig6 = E.Fig6.run () in
+  Format.printf "%a@." E.Fig6.print fig6;
+  Format.printf "%a@." E.Fig6.print_clusters fig6;
+  section "Figure 7: concurrent flows on a smartphone";
+  Format.printf "%a@." E.Fig7.print (E.Fig7.run ());
+  section "Figure 9: scheduling overhead";
+  Format.printf "%a@." E.Fig9.print (E.Fig9.run ~quick ());
+  Format.printf "%a@." E.Fig9.print_flow_scaling
+    (E.Fig9.run_flow_scaling ~quick ());
+  section "Figures 10 and 11: HTTP proxy over fluctuating links";
+  let fig10 = E.Fig10.run () in
+  Format.printf "%a@." E.Fig10.print fig10;
+  Format.printf "%a@." E.Fig10.print_clusters fig10
+
+(* --- Part 2a: flag-policy ablation (rates, not time) ------------------- *)
+
+(* The regime where the 1-bit service flag is stressed: asymmetric
+   interface capacities and a cluster spanning both interfaces.  Reference
+   max-min gives both flows 5 Mb/s. *)
+let ablation_flag_policy () =
+  section "Ablation: service-flag policy on asymmetric interfaces";
+  Format.printf
+    "Topology: if1 = 6 Mb/s (flows D, B), if2 = 4 Mb/s (flow D only).@.";
+  Format.printf "Water-filling reference: D = 5.000, B = 5.000 Mb/s.@.";
+  let run_with ?flag_policy ?counter_max label =
+    let sched = Midrr.packed (Midrr.create ?flag_policy ?counter_max ()) in
+    let sim = Midrr_sim.Netsim.create ~sched () in
+    Midrr_sim.Netsim.add_iface sim 1
+      (Midrr_sim.Link.constant (Types.mbps 6.0));
+    Midrr_sim.Netsim.add_iface sim 2
+      (Midrr_sim.Link.constant (Types.mbps 4.0));
+    Midrr_sim.Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 1; 2 ]
+      (Midrr_sim.Netsim.Backlogged { pkt_size = 1400 });
+    Midrr_sim.Netsim.add_flow sim 1 ~weight:1.0 ~allowed:[ 1 ]
+      (Midrr_sim.Netsim.Backlogged { pkt_size = 1000 });
+    Midrr_sim.Netsim.run sim ~until:40.0;
+    Format.printf "  %-22s D=%.3f B=%.3f Mb/s@." label
+      (Midrr_sim.Netsim.avg_rate sim 0 ~t0:10.0 ~t1:40.0)
+      (Midrr_sim.Netsim.avg_rate sim 1 ~t0:10.0 ~t1:40.0)
+  in
+  run_with "midrr 1-bit (paper)";
+  run_with ~flag_policy:Drr_engine.Per_send "midrr 1-bit per-send";
+  run_with ~counter_max:4 "midrr counter-4";
+  run_with ~counter_max:16 "midrr counter-16";
+  let sched = Drr.packed (Drr.create ()) in
+  let sim = Midrr_sim.Netsim.create ~sched () in
+  Midrr_sim.Netsim.add_iface sim 1 (Midrr_sim.Link.constant (Types.mbps 6.0));
+  Midrr_sim.Netsim.add_iface sim 2 (Midrr_sim.Link.constant (Types.mbps 4.0));
+  Midrr_sim.Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 1; 2 ]
+    (Midrr_sim.Netsim.Backlogged { pkt_size = 1400 });
+  Midrr_sim.Netsim.add_flow sim 1 ~weight:1.0 ~allowed:[ 1 ]
+    (Midrr_sim.Netsim.Backlogged { pkt_size = 1000 });
+  Midrr_sim.Netsim.run sim ~until:40.0;
+  Format.printf "  %-22s D=%.3f B=%.3f Mb/s@." "naive per-iface DRR"
+    (Midrr_sim.Netsim.avg_rate sim 0 ~t0:10.0 ~t1:40.0)
+    (Midrr_sim.Netsim.avg_rate sim 1 ~t0:10.0 ~t1:40.0);
+  Format.printf
+    "(The paper's 1-bit flag deviates when a cluster spans interfaces of \
+     unequal speed; the counter-flag@. extension recovers the reference \
+     exactly — see EXPERIMENTS.md fidelity notes.)@."
+
+(* The 4-flow instance where every flow of the slow interfaces is also
+   served on the fast one: Algorithm 3.2's skip loop consumes every flag in
+   one lap and degenerates to round robin.  Compares coordination schemes
+   against the water-filling reference. *)
+let ablation_adversarial () =
+  section "Ablation: fully multi-homed flows on asymmetric interfaces";
+  let weights = [| 2.32112; 2.16673; 2.96835; 3.61532 |] in
+  let caps = [| 3.4666e6; 1.98332e7; 3.87589e6 |] in
+  let allowed =
+    [|
+      [| false; true; true |];
+      [| true; true; true |];
+      [| true; true; false |];
+      [| true; false; true |];
+    |]
+  in
+  let inst = Midrr_flownet.Instance.make ~weights ~capacities:caps ~allowed in
+  let reference = Midrr_flownet.Maxmin.solve inst in
+  Format.printf "  %-22s" "reference";
+  Array.iter (fun r -> Format.printf " %7.3f" (Types.to_mbps r)) reference.rates;
+  Format.printf " Mb/s@.";
+  let run_case label sched =
+    let sim = Midrr_sim.Netsim.create ~sched () in
+    Array.iteri
+      (fun j c -> Midrr_sim.Netsim.add_iface sim j (Midrr_sim.Link.constant c))
+      caps;
+    Array.iteri
+      (fun i w ->
+        let al = List.filter (fun j -> allowed.(i).(j)) [ 0; 1; 2 ] in
+        Midrr_sim.Netsim.add_flow sim i ~weight:w ~allowed:al
+          (Midrr_sim.Netsim.Backlogged { pkt_size = 1000 }))
+      weights;
+    Midrr_sim.Netsim.run sim ~until:25.0;
+    Format.printf "  %-22s" label;
+    for i = 0 to 3 do
+      Format.printf " %7.3f" (Midrr_sim.Netsim.avg_rate sim i ~t0:5.0 ~t1:25.0)
+    done;
+    Format.printf " Mb/s@."
+  in
+  run_case "midrr 1-bit (paper)" (Midrr.packed (Midrr.create ()));
+  run_case "midrr counter-4" (Midrr.packed (Midrr.create ~counter_max:4 ()));
+  run_case "midrr counter-16" (Midrr.packed (Midrr.create ~counter_max:16 ()));
+  run_case "naive per-iface DRR" (Drr.packed (Drr.create ()));
+  run_case "wfq per-iface" (Wfq.packed (Wfq.create ()));
+  run_case "oracle (full info)"
+    (Oracle.packed (Oracle.create ~capacity:(fun j -> caps.(j)) ()))
+
+(* --- Part 2b: bechamel micro-benchmarks -------------------------------- *)
+
+(* A scheduler kept in steady state: every popped packet is replaced by a
+   fresh one for the same flow, so queue occupancy is invariant across
+   benchmark iterations. *)
+let steady_scheduler ?counter_max ~mode ~n_ifaces ~n_flows () =
+  let t = Drr_engine.create ?counter_max mode in
+  for j = 0 to n_ifaces - 1 do
+    Drr_engine.add_iface t j
+  done;
+  for f = 0 to n_flows - 1 do
+    Drr_engine.add_flow t ~flow:f ~weight:1.0
+      ~allowed:(List.init n_ifaces Fun.id)
+  done;
+  let rng = Midrr_stats.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let flow = Midrr_stats.Rng.int rng ~bound:n_flows in
+    ignore (Drr_engine.enqueue t (Packet.create ~flow ~size:1000 ~arrival:0.0))
+  done;
+  let iface = ref 0 in
+  fun () ->
+    let j = !iface in
+    iface := (j + 1) mod n_ifaces;
+    match Drr_engine.next_packet t j with
+    | Some pkt ->
+        ignore
+          (Drr_engine.enqueue t
+             (Packet.create ~flow:pkt.flow ~size:1000 ~arrival:0.0))
+    | None -> ()
+
+let steady_wfq ~n_ifaces ~n_flows =
+  let t = Wfq.create () in
+  for j = 0 to n_ifaces - 1 do
+    Wfq.add_iface t j
+  done;
+  for f = 0 to n_flows - 1 do
+    Wfq.add_flow t ~flow:f ~weight:1.0 ~allowed:(List.init n_ifaces Fun.id)
+  done;
+  for f = 0 to n_flows - 1 do
+    for _ = 1 to 1000 / n_flows do
+      ignore (Wfq.enqueue t (Packet.create ~flow:f ~size:1000 ~arrival:0.0))
+    done
+  done;
+  let iface = ref 0 in
+  fun () ->
+    let j = !iface in
+    iface := (j + 1) mod n_ifaces;
+    match Wfq.next_packet t j with
+    | Some pkt ->
+        ignore
+          (Wfq.enqueue t (Packet.create ~flow:pkt.flow ~size:1000 ~arrival:0.0))
+    | None -> ()
+
+let maxmin_instance n_flows n_ifaces seed =
+  let rng = Midrr_stats.Rng.create ~seed in
+  let weights =
+    Array.init n_flows (fun _ -> Midrr_stats.Rng.uniform rng ~lo:1.0 ~hi:4.0)
+  in
+  let capacities =
+    Array.init n_ifaces (fun _ ->
+        Midrr_stats.Rng.uniform rng ~lo:1e6 ~hi:1e7)
+  in
+  let allowed =
+    Array.init n_flows (fun _ ->
+        let row =
+          Array.init n_ifaces (fun _ -> Midrr_stats.Rng.bool rng)
+        in
+        if Array.for_all not row then row.(0) <- true;
+        row)
+  in
+  Midrr_flownet.Instance.make ~weights ~capacities ~allowed
+
+let tests () =
+  let decision =
+    Test.make_grouped ~name:"decision"
+      (List.map
+         (fun n ->
+           Test.make
+             ~name:(Printf.sprintf "midrr-%02dif" n)
+             (Staged.stage
+                (steady_scheduler ~mode:Drr_engine.Service_flags ~n_ifaces:n
+                   ~n_flows:32 ())))
+         [ 4; 8; 12; 16 ])
+  in
+  let baselines =
+    Test.make_grouped ~name:"baseline"
+      [
+        Test.make ~name:"drr-naive-08if"
+          (Staged.stage
+             (steady_scheduler ~mode:Drr_engine.Plain ~n_ifaces:8 ~n_flows:32
+                ()));
+        Test.make ~name:"midrr-counter4-08if"
+          (Staged.stage
+             (steady_scheduler ~counter_max:4 ~mode:Drr_engine.Service_flags
+                ~n_ifaces:8 ~n_flows:32 ()));
+        Test.make ~name:"wfq-08if"
+          (Staged.stage (steady_wfq ~n_ifaces:8 ~n_flows:32));
+      ]
+  in
+  let solver =
+    Test.make_grouped ~name:"maxmin"
+      (List.map
+         (fun (nf, ni) ->
+           let inst = maxmin_instance nf ni 17 in
+           Test.make
+             ~name:(Printf.sprintf "solve-%02df-%02di" nf ni)
+             (Staged.stage (fun () ->
+                  ignore (Midrr_flownet.Maxmin.solve inst))))
+         [ (8, 3); (24, 6) ])
+  in
+  let solver_exact =
+    let inst =
+      Midrr_flownet.Instance.make ~weights:[| 1.0; 2.0; 1.0; 3.0 |]
+        ~capacities:[| 3e6; 1e7; 5e6 |]
+        ~allowed:
+          [|
+            [| true; false; true |];
+            [| true; true; false |];
+            [| false; true; true |];
+            [| true; true; true |];
+          |]
+    in
+    Test.make ~name:"exact-rational-04f-03i"
+      (Staged.stage (fun () ->
+           ignore (Midrr_flownet.Maxmin_exact.solve_floats inst)))
+  in
+  let generators =
+    Test.make_grouped ~name:"generator"
+      [
+        Test.make ~name:"rng-splitmix64"
+          (let rng = Midrr_stats.Rng.create ~seed:9 in
+           Staged.stage (fun () -> ignore (Midrr_stats.Rng.bits64 rng)));
+        Test.make ~name:"trace-day"
+          (Staged.stage (fun () ->
+               ignore
+                 (Midrr_trace.Gen.generate ~seed:2
+                    { Midrr_trace.Gen.default_params with horizon = 86400.0 })));
+        Test.make ~name:"cdf-1k-samples"
+          (let rng = Midrr_stats.Rng.create ~seed:10 in
+           let samples =
+             Array.init 1000 (fun _ -> Midrr_stats.Rng.float rng)
+           in
+           Staged.stage (fun () ->
+               ignore (Midrr_stats.Cdf.of_samples samples)));
+      ]
+  in
+  let substrates =
+    let vif_src =
+      Midrr_bridge.Vif.addr ~mac:0x02_00_00_00_00_01L ~ip:0x0A000001l
+    in
+    let vif_dst =
+      Midrr_bridge.Vif.addr ~mac:0x02_00_00_00_00_02L ~ip:0x0A000002l
+    in
+    let frame =
+      Midrr_bridge.Vif.make ~src:vif_src ~dst:vif_dst
+        (Packet.create ~flow:0 ~size:1500 ~arrival:0.0)
+    in
+    Test.make_grouped ~name:"substrate"
+      [
+        Test.make ~name:"event-queue-push-pop"
+          (let q = Midrr_sim.Event_queue.create () in
+           let rng = Midrr_stats.Rng.create ~seed:5 in
+           for _ = 1 to 256 do
+             Midrr_sim.Event_queue.push q
+               ~time:(Midrr_stats.Rng.float rng)
+               ()
+           done;
+           Staged.stage (fun () ->
+               match Midrr_sim.Event_queue.pop q with
+               | Some (t, ()) ->
+                   Midrr_sim.Event_queue.push q ~time:(t +. 1.0) ()
+               | None -> ()));
+        Test.make ~name:"header-rewrite"
+          (Staged.stage (fun () ->
+               ignore
+                 (Midrr_bridge.Vif.rewrite frame ~src:vif_dst ~dst:vif_src)));
+        Test.make ~name:"enqueue"
+          (let t = Drr_engine.create Drr_engine.Service_flags in
+           Drr_engine.add_iface t 0;
+           Drr_engine.add_flow t ~flow:0 ~weight:1.0 ~allowed:[ 0 ];
+           Staged.stage (fun () ->
+               ignore
+                 (Drr_engine.enqueue t
+                    (Packet.create ~flow:0 ~size:100 ~arrival:0.0));
+               ignore (Drr_engine.next_packet t 0)));
+      ]
+  in
+  Test.make_grouped ~name:"midrr"
+    [
+      decision;
+      baselines;
+      Test.make_grouped ~name:"maxmin-all" [ solver; solver_exact ];
+      generators;
+      substrates;
+    ]
+
+let run_benchmarks () =
+  section "Micro-benchmarks (bechamel; ns per call, OLS estimate)";
+  let quota = if quick then Time.millisecond 200. else Time.second 1. in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:true () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort compare
+  in
+  Format.printf "  %-40s %12s %8s@." "benchmark" "ns/call" "r^2";
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> e
+        | _ -> Float.nan
+      in
+      let r2 =
+        Option.value (Analyze.OLS.r_square result) ~default:Float.nan
+      in
+      Format.printf "  %-40s %12.1f %8.4f@." name estimate r2)
+    rows
+
+let extended_studies () =
+  section "Granularity ablation (HTTP chunk size vs max-min, paper 6.4)";
+  Format.printf "%a@." E.Granularity.print (E.Granularity.run ());
+  section "Convergence ablation (quantum size, paper 6.2)";
+  Format.printf "%a@." E.Convergence.print (E.Convergence.run ());
+  section "Churn stress (flow arrivals/departures from the Fig. 7 model)";
+  Format.printf "%a@." E.Churn.print (E.Churn.run ());
+  section "Inbound scheduling: in-network ideal (Fig. 4) vs client HTTP";
+  Format.printf "%a@." E.Inbound.print (E.Inbound.run ());
+  section "Aggregation: one flow over 1-16 interfaces";
+  Format.printf "%a@." E.Aggregation.print (E.Aggregation.run ())
+
+let () =
+  reproduce_figures ();
+  ablation_flag_policy ();
+  ablation_adversarial ();
+  extended_studies ();
+  run_benchmarks ();
+  Format.printf "@.done.@."

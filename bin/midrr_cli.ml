@@ -1,0 +1,222 @@
+(* Command-line driver for the reproduction experiments.
+
+   Each subcommand regenerates one of the paper's figures and prints the
+   series/rows the figure plots.  `midrr all` runs the full evaluation. *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let run_fig1 () = Format.fprintf ppf "%a@." Midrr_experiments.Fig1.print
+    (Midrr_experiments.Fig1.run ())
+
+let run_theorem1 () =
+  Format.fprintf ppf "%a@." Midrr_experiments.Theorem1.print
+    (Midrr_experiments.Theorem1.run ())
+
+let run_fig6 ~clusters ?csv () =
+  let r = Midrr_experiments.Fig6.run () in
+  Format.fprintf ppf "%a@." Midrr_experiments.Fig6.print r;
+  if clusters then
+    Format.fprintf ppf "%a@." Midrr_experiments.Fig6.print_clusters r;
+  Option.iter (fun dir -> Midrr_experiments.Export.fig6 ~dir r) csv
+
+let run_fig7 ~seed ~days ?csv () =
+  let r = Midrr_experiments.Fig7.run ~seed ~days () in
+  Format.fprintf ppf "%a@." Midrr_experiments.Fig7.print r;
+  Option.iter (fun dir -> Midrr_experiments.Export.fig7 ~dir r) csv
+
+let run_fig8 () =
+  Format.fprintf ppf "%a@." Midrr_experiments.Fig6.print_clusters
+    (Midrr_experiments.Fig6.run ())
+
+let run_fig9 ~quick ?csv () =
+  let r = Midrr_experiments.Fig9.run ~quick () in
+  Format.fprintf ppf "%a@." Midrr_experiments.Fig9.print r;
+  Format.fprintf ppf "%a@." Midrr_experiments.Fig9.print_flow_scaling
+    (Midrr_experiments.Fig9.run_flow_scaling ~quick ());
+  Option.iter (fun dir -> Midrr_experiments.Export.fig9 ~dir r) csv
+
+let run_fig10 ~clusters ?csv () =
+  let r = Midrr_experiments.Fig10.run () in
+  Format.fprintf ppf "%a@." Midrr_experiments.Fig10.print r;
+  if clusters then
+    Format.fprintf ppf "%a@." Midrr_experiments.Fig10.print_clusters r;
+  Option.iter (fun dir -> Midrr_experiments.Export.fig10 ~dir r) csv
+
+let run_fig11 () =
+  Format.fprintf ppf "%a@." Midrr_experiments.Fig10.print_clusters
+    (Midrr_experiments.Fig10.run ())
+
+let run_granularity () =
+  Format.fprintf ppf "%a@." Midrr_experiments.Granularity.print
+    (Midrr_experiments.Granularity.run ())
+
+let run_convergence () =
+  Format.fprintf ppf "%a@." Midrr_experiments.Convergence.print
+    (Midrr_experiments.Convergence.run ())
+
+let run_churn ~seed () =
+  Format.fprintf ppf "%a@." Midrr_experiments.Churn.print
+    (Midrr_experiments.Churn.run ~seed ())
+
+let run_inbound () =
+  Format.fprintf ppf "%a@." Midrr_experiments.Inbound.print
+    (Midrr_experiments.Inbound.run ())
+
+let run_aggregation () =
+  Format.fprintf ppf "%a@." Midrr_experiments.Aggregation.print
+    (Midrr_experiments.Aggregation.run ())
+
+let run_scenario path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  match Midrr_sim.Scenario.run_text text with
+  | Ok report ->
+      Format.fprintf ppf "%a@." Midrr_sim.Scenario.pp_report report
+  | Error e ->
+      Format.eprintf "scenario error: %s@." e;
+      exit 1
+
+let run_all ~quick ?csv () =
+  run_fig1 ();
+  run_theorem1 ();
+  run_fig6 ~clusters:true ?csv ();
+  run_fig7 ~seed:11 ~days:7.0 ?csv ();
+  run_fig9 ~quick ?csv ();
+  run_fig10 ~clusters:true ?csv ();
+  run_granularity ();
+  run_convergence ();
+  run_churn ~seed:17 ();
+  run_inbound ();
+  run_aggregation ()
+
+(* --- terms ---------------------------------------------------------- *)
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduce sample counts for speed.")
+
+let clusters =
+  Arg.(
+    value & flag
+    & info [ "clusters" ] ~doc:"Also print the cluster decomposition.")
+
+let seed =
+  Arg.(
+    value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let days =
+  Arg.(
+    value & opt float 7.0
+    & info [ "days" ] ~docv:"DAYS" ~doc:"Trace length in days.")
+
+let csv =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write the figure's data as CSV files into $(docv).")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let fig1_cmd =
+  cmd "fig1" "Figure 1 / Section 1 canonical examples (all schedulers)"
+    Term.(const run_fig1 $ const ())
+
+let theorem1_cmd =
+  cmd "theorem1" "Theorem 1 counterexample: finishing order is non-causal"
+    Term.(const (fun () -> run_theorem1 ()) $ const ())
+
+let fig6_cmd =
+  cmd "fig6" "Figure 6: three flows over two interfaces"
+    Term.(
+      const (fun clusters csv () -> run_fig6 ~clusters ?csv ())
+      $ clusters $ csv $ const ())
+
+let fig7_cmd =
+  cmd "fig7" "Figure 7: CDF of concurrent flows on a smartphone"
+    Term.(
+      const (fun seed days csv () -> run_fig7 ~seed ~days ?csv ())
+      $ seed $ days $ csv $ const ())
+
+let fig8_cmd =
+  cmd "fig8" "Figure 8: cluster evolution during the Figure 6 run"
+    Term.(const (fun () -> run_fig8 ()) $ const ())
+
+let fig9_cmd =
+  cmd "fig9" "Figure 9: CDF of scheduling decision time vs interfaces"
+    Term.(
+      const (fun quick csv () -> run_fig9 ~quick ?csv ())
+      $ quick $ csv $ const ())
+
+let fig10_cmd =
+  cmd "fig10" "Figure 10: HTTP goodput over fluctuating links"
+    Term.(
+      const (fun clusters csv () -> run_fig10 ~clusters ?csv ())
+      $ clusters $ csv $ const ())
+
+let fig11_cmd =
+  cmd "fig11" "Figure 11: HTTP cluster structure per phase"
+    Term.(const (fun () -> run_fig11 ()) $ const ())
+
+let granularity_cmd =
+  cmd "granularity"
+    "Ablation: HTTP chunk size vs max-min deviation (paper 6.4)"
+    Term.(const (fun () -> run_granularity ()) $ const ())
+
+let convergence_cmd =
+  cmd "convergence" "Ablation: quantum size vs settling time and ripple"
+    Term.(const (fun () -> run_convergence ()) $ const ())
+
+let churn_cmd =
+  cmd "churn" "Stress: fairness under smartphone-trace flow churn"
+    Term.(const (fun seed () -> run_churn ~seed ()) $ seed $ const ())
+
+let inbound_cmd =
+  cmd "inbound" "Study: in-network ideal vs client HTTP inbound scheduling"
+    Term.(const (fun () -> run_inbound ()) $ const ())
+
+let aggregation_cmd =
+  cmd "aggregation" "Study: bandwidth aggregation over 1-16 interfaces"
+    Term.(const (fun () -> run_aggregation ()) $ const ())
+
+let all_cmd =
+  cmd "all" "Run the complete evaluation"
+    Term.(
+      const (fun quick csv () -> run_all ~quick ?csv ())
+      $ quick $ csv $ const ())
+
+let scenario_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Scenario file (see scenarios/*.scn).")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a declarative scenario file and print its measurements")
+    Term.(const run_scenario $ scenario_file)
+
+let main =
+  let doc = "miDRR reproduction: scheduling packets over multiple interfaces" in
+  let info = Cmd.info "midrr" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      fig1_cmd;
+      theorem1_cmd;
+      fig6_cmd;
+      fig7_cmd;
+      fig8_cmd;
+      fig9_cmd;
+      fig10_cmd;
+      fig11_cmd;
+      granularity_cmd;
+      convergence_cmd;
+      churn_cmd;
+      inbound_cmd;
+      aggregation_cmd;
+      run_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,45 @@
+(** The packet-steering bridge of paper §5 / Figure 3.
+
+    Applications send through one virtual interface; the bridge classifies
+    each packet to a flow, hands it to the packet scheduler, and — when a
+    physical port is free — pulls the scheduler's decision, rewrites the
+    headers from the virtual to the chosen physical interface and emits the
+    frame.  This mirrors the 1,010-line Linux kernel module functionally:
+    virtual address transparency, per-port rewriting, and a scheduling
+    decision on every transmit opportunity. *)
+
+open Midrr_core
+
+type t
+
+val create : ?vif_addr:Vif.addr -> sched:Sched_intf.packed -> unit -> t
+(** [vif_addr] is the arbitrary address presented to applications. *)
+
+val vif_addr : t -> Vif.addr
+
+val add_port :
+  t -> Types.iface_id -> local:Vif.addr -> gateway:Vif.addr -> unit
+(** Attach a physical interface with its own addresses. *)
+
+val remove_port : t -> Types.iface_id -> unit
+
+val ports : t -> Types.iface_id list
+
+val register_flow :
+  t -> flow:Types.flow_id -> ?weight:float -> allowed:Types.iface_id list -> unit -> unit
+(** Install the user's preferences for a flow. *)
+
+val send : t -> Packet.t -> bool
+(** Application-side entry: accept a packet addressed to the virtual
+    interface.  [false] when the flow is unknown or its queue is full. *)
+
+val transmit : t -> Types.iface_id -> Vif.frame option
+(** Pull one frame for the physical port: asks the scheduler which packet
+    to send and rewrites its headers for that port.  [None] when nothing is
+    eligible. *)
+
+val tx_frames : t -> Types.iface_id -> int
+(** Frames emitted through the port so far. *)
+
+val rewrites : t -> int
+(** Total header rewrites performed. *)

@@ -1,0 +1,68 @@
+type five_tuple = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+let pp_five_tuple ppf t =
+  Format.fprintf ppf "%ld:%d -> %ld:%d proto=%d" t.src_ip t.src_port t.dst_ip
+    t.dst_port t.proto
+
+type entry = {
+  flow : Midrr_core.Types.flow_id;
+  mutable stamp : int; (* logical use time for LRU *)
+}
+
+type t = {
+  max_flows : int;
+  on_new : five_tuple -> Midrr_core.Types.flow_id;
+  table : (five_tuple, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable evicted : int;
+}
+
+let create ?(max_flows = 4096) ~on_new () =
+  if max_flows <= 0 then invalid_arg "Classifier.create: max_flows <= 0";
+  { max_flows; on_new; table = Hashtbl.create 256; clock = 0; evicted = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* Linear scan for the LRU victim: eviction is rare (table overflow), so
+   simplicity beats an intrusive heap here. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, e) when e.stamp <= entry.stamp -> ()
+      | _ -> victim := Some (key, entry))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evicted <- t.evicted + 1
+  | None -> ()
+
+let classify t tuple =
+  match Hashtbl.find_opt t.table tuple with
+  | Some entry ->
+      entry.stamp <- tick t;
+      entry.flow
+  | None ->
+      if Hashtbl.length t.table >= t.max_flows then evict_lru t;
+      let flow = t.on_new tuple in
+      Hashtbl.replace t.table tuple { flow; stamp = tick t };
+      flow
+
+let lookup t tuple =
+  Option.map (fun e -> e.flow) (Hashtbl.find_opt t.table tuple)
+
+let flows t = Hashtbl.length t.table
+
+let evictions t = t.evicted
+
+let forget t tuple = Hashtbl.remove t.table tuple

@@ -1,0 +1,40 @@
+(** Five-tuple flow classification.
+
+    The kernel bridge receives raw packets; before the scheduler can apply
+    per-flow preferences it must map each packet to a flow.  This module is
+    that classifier: a hash table from connection five-tuples to flow ids
+    with LRU eviction, plus a hook invoked when a new flow is observed so
+    the caller can register it (e.g. resolve its app through
+    {!Midrr_core.Policy} and install preferences). *)
+
+type five_tuple = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+  proto : int;  (** 6 = TCP, 17 = UDP, ... *)
+}
+
+val pp_five_tuple : Format.formatter -> five_tuple -> unit
+
+type t
+
+val create :
+  ?max_flows:int -> on_new:(five_tuple -> Midrr_core.Types.flow_id) -> unit -> t
+(** [max_flows] bounds the table (default 4096); beyond it the least
+    recently used entry is evicted and [on_evict]-free.  [on_new] is called
+    once per unseen five-tuple and must return the flow id to use. *)
+
+val classify : t -> five_tuple -> Midrr_core.Types.flow_id
+(** Look up (or create) the flow for a five-tuple and mark it used. *)
+
+val lookup : t -> five_tuple -> Midrr_core.Types.flow_id option
+(** Like {!classify} but never creates or touches LRU order. *)
+
+val flows : t -> int
+(** Current table size. *)
+
+val evictions : t -> int
+
+val forget : t -> five_tuple -> unit
+(** Drop one mapping (connection closed). *)

@@ -1,0 +1,22 @@
+(** Naive per-interface deficit round robin (Shreedhar & Varghese), the
+    paper's DRR baseline.
+
+    Every interface runs classic DRR over the flows willing to use it, with
+    no coordination between interfaces.  On a single interface this is
+    exactly the original DRR algorithm; across interfaces it produces the
+    per-interface fair shares that §3 shows are {e not} max-min fair under
+    interface preferences (flow a in Fig. 1(c) gets 1.5 Mb/s instead of 1).
+
+    This is {!Drr_engine} fixed to [Plain] mode. *)
+
+include Sched_intf.S with type t = Drr_engine.t
+
+val create :
+  ?base_quantum:int ->
+  ?queue_capacity:int ->
+  ?flag_policy:Drr_engine.flag_policy ->
+  ?counter_max:int ->
+  unit ->
+  t
+
+val packed : t -> Sched_intf.packed

@@ -1,0 +1,44 @@
+(** Online fairness monitoring.
+
+    Production observability for a running scheduler: sample the cumulative
+    service counters periodically and check Theorem 2's max-min conditions
+    over each window, pair by pair, using the directional fairness metric
+    [FM = S_i/phi_i - S_j/phi_j] ({!Metrics}):
+
+    - flows that both drew service through a common interface are in one
+      cluster, so their normalized service must agree (|FM| small);
+    - a backlogged flow merely {e willing} to use an interface another flow
+      actively used must not trail it (one-sided, per Lemma 5) — being
+      ahead in a different cluster is legitimate and is not flagged.
+
+    A persistently large violation signals a preference misconfiguration
+    or a scheduler defect.  The monitor is scheduler-agnostic (works over
+    {!Sched_intf.packed}). *)
+
+type report = {
+  window_index : int;
+  worst_pair : (Types.flow_id * Types.flow_id) option;
+      (** pair with the largest |FM| among comparable pairs *)
+  worst_fm : float;  (** bytes per unit weight; 0 when no pair qualified *)
+  pairs_checked : int;
+}
+
+type t
+
+val create :
+  ?alarm_threshold:float -> ?phi:(Types.flow_id -> float) -> Sched_intf.packed -> t
+(** [alarm_threshold] (bytes/weight, default 10 * 1500) is the |FM| above
+    which a window is counted as an alarm.  [phi] supplies rate-preference
+    weights (default: all 1.0). *)
+
+val sample : t -> report
+(** Close the current window, compare it to the previous sample, and open
+    the next.  The first call returns a baseline report with no pairs. *)
+
+val alarms : t -> int
+(** Windows whose worst |FM| exceeded the threshold so far. *)
+
+val windows : t -> int
+
+val worst_ever : t -> float
+(** Largest |FM| seen over any window. *)

@@ -1,0 +1,6 @@
+include Drr_engine
+
+let create ?base_quantum ?queue_capacity ?flag_policy ?counter_max () =
+  Drr_engine.create ?base_quantum ?queue_capacity ?flag_policy ?counter_max Drr_engine.Service_flags
+
+let packed t = Sched_intf.Packed ((module Drr_engine), t)

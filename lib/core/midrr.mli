@@ -1,0 +1,23 @@
+(** miDRR: multiple-interface deficit round robin (the paper's
+    contribution, §3.1).
+
+    Each interface runs DRR independently; a one-bit service flag per
+    (flow, interface) pair tells an interface that a flow was served
+    elsewhere since its last visit, in which case the interface skips it.
+    Theorem 3: the resulting allocation is weighted max-min fair subject to
+    the interface preferences.
+
+    This is {!Drr_engine} fixed to [Service_flags] mode; see that module for
+    the full API including introspection. *)
+
+include Sched_intf.S with type t = Drr_engine.t
+
+val create :
+  ?base_quantum:int ->
+  ?queue_capacity:int ->
+  ?flag_policy:Drr_engine.flag_policy ->
+  ?counter_max:int ->
+  unit ->
+  t
+
+val packed : t -> Sched_intf.packed

@@ -1,0 +1,232 @@
+module Iset = Set.Make (Int)
+module Instance = Midrr_flownet.Instance
+module Maxmin = Midrr_flownet.Maxmin
+
+type flow = {
+  f_id : Types.flow_id;
+  mutable weight : float;
+  mutable allowed : Iset.t;
+  queue : Pktqueue.t;
+  mutable served : int;
+  served_on : (Types.iface_id, int) Hashtbl.t;
+  (* Bytes served per interface since the last allocation recompute; the
+     lag comparison below uses these epoch-local counters so stale history
+     does not bias new targets. *)
+  epoch_served : (Types.iface_id, int) Hashtbl.t;
+  mutable target : (Types.iface_id, float) Hashtbl.t;
+}
+
+type t = {
+  queue_capacity : int option;
+  capacity : Types.iface_id -> float;
+  flows_tbl : (Types.flow_id, flow) Hashtbl.t;
+  mutable iface_list : Types.iface_id list;
+  mutable stale : bool;
+  mutable recomputations : int;
+}
+
+let create ?queue_capacity ~capacity () =
+  {
+    queue_capacity;
+    capacity;
+    flows_tbl = Hashtbl.create 32;
+    iface_list = [];
+    stale = true;
+    recomputations = 0;
+  }
+
+let name _ = "oracle"
+
+let flow_state t f =
+  match Hashtbl.find_opt t.flows_tbl f with
+  | Some fs -> fs
+  | None -> invalid_arg "Oracle: unknown flow"
+
+let has_iface t j = List.mem j t.iface_list
+
+let add_iface t j =
+  if has_iface t j then invalid_arg "Oracle.add_iface: duplicate";
+  t.iface_list <- List.sort compare (j :: t.iface_list);
+  t.stale <- true
+
+let remove_iface t j =
+  t.iface_list <- List.filter (fun k -> k <> j) t.iface_list;
+  t.stale <- true
+
+let ifaces t = t.iface_list
+
+let has_flow t f = Hashtbl.mem t.flows_tbl f
+
+let add_flow t ~flow ~weight ~allowed =
+  if has_flow t flow then invalid_arg "Oracle.add_flow: duplicate";
+  if not (weight > 0.0) then invalid_arg "Oracle.add_flow: weight <= 0";
+  Hashtbl.replace t.flows_tbl flow
+    {
+      f_id = flow;
+      weight;
+      allowed = Iset.of_list allowed;
+      queue = Pktqueue.create ?capacity_bytes:t.queue_capacity ();
+      served = 0;
+      served_on = Hashtbl.create 8;
+      epoch_served = Hashtbl.create 8;
+      target = Hashtbl.create 8;
+    };
+  t.stale <- true
+
+let remove_flow t f =
+  Hashtbl.remove t.flows_tbl f;
+  t.stale <- true
+
+let flows t =
+  Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl [] |> List.sort compare
+
+let set_weight t f w =
+  if not (w > 0.0) then invalid_arg "Oracle.set_weight: weight <= 0";
+  (flow_state t f).weight <- w;
+  t.stale <- true
+
+let set_allowed t f allowed =
+  (flow_state t f).allowed <- Iset.of_list allowed;
+  t.stale <- true
+
+let allowed_ifaces t f = Iset.elements (flow_state t f).allowed
+
+(* Recompute the water-filling allocation over the currently backlogged
+   flows and install per-(flow, interface) target rates. *)
+let recompute t =
+  t.stale <- false;
+  t.recomputations <- t.recomputations + 1;
+  let backlogged =
+    Hashtbl.fold
+      (fun _ fs acc -> if Pktqueue.is_empty fs.queue then acc else fs :: acc)
+      t.flows_tbl []
+    |> List.sort (fun a b -> compare a.f_id b.f_id)
+  in
+  Hashtbl.iter
+    (fun _ fs ->
+      Hashtbl.reset fs.target;
+      Hashtbl.reset fs.epoch_served)
+    t.flows_tbl;
+  match (backlogged, t.iface_list) with
+  | [], _ | _, [] -> ()
+  | flows, ifaces ->
+      let weights = Array.of_list (List.map (fun fs -> fs.weight) flows) in
+      let capacities = Array.of_list (List.map t.capacity ifaces) in
+      let allowed =
+        Array.of_list
+          (List.map
+             (fun fs ->
+               Array.of_list
+                 (List.map (fun j -> Iset.mem j fs.allowed) ifaces))
+             flows)
+      in
+      let alloc = Maxmin.solve (Instance.make ~weights ~capacities ~allowed) in
+      List.iteri
+        (fun i fs ->
+          List.iteri
+            (fun k j ->
+              let share = alloc.share.(i).(k) in
+              if share > 1e-6 then Hashtbl.replace fs.target j share)
+            ifaces)
+        flows
+
+let enqueue t (p : Packet.t) =
+  match Hashtbl.find_opt t.flows_tbl p.flow with
+  | None -> false
+  | Some fs ->
+      let was_empty = Pktqueue.is_empty fs.queue in
+      let accepted = Pktqueue.push fs.queue p in
+      if accepted && was_empty then t.stale <- true;
+      accepted
+
+let next_packet t j =
+  if not (has_iface t j) then invalid_arg "Oracle: unknown interface";
+  if t.stale then recompute t;
+  (* Serve the backlogged flow farthest behind its target share on this
+     interface (smallest served/target ratio). *)
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ fs ->
+      if not (Pktqueue.is_empty fs.queue) then
+        match Hashtbl.find_opt fs.target j with
+        | Some target when target > 0.0 ->
+            let served =
+              Option.value (Hashtbl.find_opt fs.epoch_served j) ~default:0
+            in
+            let lag = Float.of_int served /. target in
+            (match !best with
+            | Some (l, other) when l < lag || (l = lag && other.f_id < fs.f_id)
+              ->
+                ()
+            | _ -> best := Some (lag, fs))
+        | _ -> ())
+    t.flows_tbl;
+  (* Work conservation fallback: if no flow has a target here (e.g. the
+     allocation routed nothing through this interface but capacity remains),
+     serve any eligible backlogged flow. *)
+  let chosen =
+    match !best with
+    | Some (_, fs) -> Some fs
+    | None ->
+        Hashtbl.fold
+          (fun _ fs acc ->
+            if Iset.mem j fs.allowed && not (Pktqueue.is_empty fs.queue) then
+              match acc with
+              | Some (other : flow) when other.f_id < fs.f_id -> acc
+              | _ -> Some fs
+            else acc)
+          t.flows_tbl None
+  in
+  match chosen with
+  | None -> None
+  | Some fs ->
+      let pkt = Option.get (Pktqueue.pop fs.queue) in
+      fs.served <- fs.served + pkt.size;
+      let bump table =
+        Hashtbl.replace table j
+          (pkt.size + Option.value (Hashtbl.find_opt table j) ~default:0)
+      in
+      bump fs.served_on;
+      bump fs.epoch_served;
+      if Pktqueue.is_empty fs.queue then t.stale <- true;
+      Some pkt
+
+let backlog_bytes t f = Pktqueue.backlog_bytes (flow_state t f).queue
+let backlog_packets t f = Pktqueue.length (flow_state t f).queue
+let is_backlogged t f = not (Pktqueue.is_empty (flow_state t f).queue)
+let served_bytes t f = (flow_state t f).served
+
+let served_bytes_on t ~flow ~iface =
+  Option.value (Hashtbl.find_opt (flow_state t flow).served_on iface) ~default:0
+
+let recomputations t = t.recomputations
+
+let target_share t ~flow ~iface =
+  if t.stale then recompute t;
+  Option.value (Hashtbl.find_opt (flow_state t flow).target iface) ~default:0.0
+
+let packed t =
+  let module M = struct
+    type nonrec t = t
+
+    let name = name
+    let add_iface = add_iface
+    let remove_iface = remove_iface
+    let has_iface = has_iface
+    let ifaces = ifaces
+    let add_flow = add_flow
+    let remove_flow = remove_flow
+    let has_flow = has_flow
+    let flows = flows
+    let set_weight = set_weight
+    let set_allowed = set_allowed
+    let allowed_ifaces = allowed_ifaces
+    let enqueue = enqueue
+    let next_packet = next_packet
+    let backlog_bytes = backlog_bytes
+    let backlog_packets = backlog_packets
+    let is_backlogged = is_backlogged
+    let served_bytes = served_bytes
+    let served_bytes_on = served_bytes_on
+  end in
+  Sched_intf.Packed ((module M), t)

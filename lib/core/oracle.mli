@@ -1,0 +1,32 @@
+(** The omniscient comparator the paper rejects (§3).
+
+    Before introducing the service flag, the paper considers the "obvious
+    solution": interfaces exchange rate information and compute whether
+    serving a flow leads to the max-min fair solution — and rejects it as
+    requiring "an impractical amount of state information ... as well as
+    interfaces to know their own instantaneous rates".  This module
+    implements that oracle as an upper-bound baseline: it is told every
+    interface's line rate, recomputes the water-filling allocation whenever
+    the backlogged set changes, and schedules each interface by serving the
+    eligible flow farthest behind its target share.
+
+    It matches the reference essentially exactly — at the cost of a global
+    max-flow computation per backlog change and per-rate bookkeeping that
+    miDRR's one bit replaces.  Useful in ablations to separate "error from
+    the 1-bit coordination" from "error inherent to packetization". *)
+
+include Sched_intf.S
+
+val create : ?queue_capacity:int -> capacity:(Types.iface_id -> float) -> unit -> t
+(** [capacity j] must return interface [j]'s line rate in bits/s — the
+    omniscient knowledge the paper's algorithm avoids needing. *)
+
+val packed : t -> Sched_intf.packed
+
+val recomputations : t -> int
+(** Water-filling solves performed so far (the oracle's coordination
+    cost). *)
+
+val target_share : t -> flow:Types.flow_id -> iface:Types.iface_id -> float
+(** The flow's current target rate on the interface, bits/s (0 when not
+    scheduled there). *)

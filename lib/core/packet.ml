@@ -1,0 +1,13 @@
+type t = { flow : Types.flow_id; size : int; seq : int; arrival : float }
+
+let counter = ref 0
+
+let create ~flow ~size ~arrival =
+  if size <= 0 then invalid_arg "Packet.create: size <= 0";
+  incr counter;
+  { flow; size; seq = !counter; arrival }
+
+let compare_seq a b = compare a.seq b.seq
+
+let pp ppf t =
+  Format.fprintf ppf "pkt#%d flow=%d %dB @%.6fs" t.seq t.flow t.size t.arrival

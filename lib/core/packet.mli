@@ -1,0 +1,20 @@
+(** Packets as scheduled by the core.
+
+    A packet is immutable: its flow, size and arrival time are fixed at
+    creation.  [seq] is unique per packet within a run and breaks ties
+    deterministically. *)
+
+type t = private {
+  flow : Types.flow_id;
+  size : int;  (** bytes, > 0 *)
+  seq : int;
+  arrival : float;  (** seconds *)
+}
+
+val create : flow:Types.flow_id -> size:int -> arrival:float -> t
+(** Allocate a packet with a fresh sequence number.  Raises
+    [Invalid_argument] if [size <= 0]. *)
+
+val compare_seq : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = {
+  q : Packet.t Queue.t;
+  capacity : int option;
+  mutable bytes : int;
+  mutable drops : int;
+}
+
+let create ?capacity_bytes () =
+  (match capacity_bytes with
+  | Some c when c <= 0 -> invalid_arg "Pktqueue.create: capacity <= 0"
+  | _ -> ());
+  { q = Queue.create (); capacity = capacity_bytes; bytes = 0; drops = 0 }
+
+let push t (p : Packet.t) =
+  let fits =
+    match t.capacity with None -> true | Some c -> t.bytes + p.size <= c
+  in
+  if fits then begin
+    Queue.push p t.q;
+    t.bytes <- t.bytes + p.size;
+    true
+  end
+  else begin
+    t.drops <- t.drops + 1;
+    false
+  end
+
+let pop t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some p ->
+      t.bytes <- t.bytes - p.size;
+      Some p
+
+let peek t = Queue.peek_opt t.q
+
+let head_size t = match Queue.peek_opt t.q with None -> 0 | Some p -> p.size
+
+let backlog_bytes t = t.bytes
+
+let length t = Queue.length t.q
+
+let is_empty t = Queue.is_empty t.q
+
+let drops t = t.drops
+
+let clear t =
+  Queue.clear t.q;
+  t.bytes <- 0

@@ -1,0 +1,193 @@
+type iface_info = { i_name : string; classes : string list }
+
+type iface_spec = Any | Only of string list | Except of string list
+
+type rule = { app : string option; ifaces : iface_spec; weight : float option }
+
+type t = {
+  ifaces : (Types.iface_id, iface_info) Hashtbl.t;
+  apps : (string, Types.flow_id) Hashtbl.t;
+  mutable rule_list : rule list;
+}
+
+let create () =
+  { ifaces = Hashtbl.create 8; apps = Hashtbl.create 16; rule_list = [] }
+
+let add_iface t ~id ~name ~classes =
+  if Hashtbl.mem t.ifaces id then invalid_arg "Policy.add_iface: duplicate id";
+  Hashtbl.iter
+    (fun _ info ->
+      if info.i_name = name then
+        invalid_arg "Policy.add_iface: duplicate name")
+    t.ifaces;
+  Hashtbl.replace t.ifaces id { i_name = name; classes }
+
+let remove_iface t id = Hashtbl.remove t.ifaces id
+
+let iface_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.ifaces [] |> List.sort compare
+
+let add_app t ~flow ~name =
+  if Hashtbl.mem t.apps name then invalid_arg "Policy.add_app: duplicate app";
+  Hashtbl.iter
+    (fun _ f -> if f = flow then invalid_arg "Policy.add_app: duplicate flow")
+    t.apps;
+  Hashtbl.replace t.apps name flow
+
+let app_flow t name =
+  match Hashtbl.find_opt t.apps name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let set_rules t rules = t.rule_list <- rules
+
+let rules t = t.rule_list
+
+(* An interface matches a label when the label is its name or one of its
+   classes. *)
+let iface_matches info label = info.i_name = label || List.mem label info.classes
+
+let spec_allows t spec id =
+  match Hashtbl.find_opt t.ifaces id with
+  | None -> false
+  | Some info -> (
+      match spec with
+      | Any -> true
+      | Only labels -> List.exists (iface_matches info) labels
+      | Except labels -> not (List.exists (iface_matches info) labels))
+
+type decision = { weight : float; allowed : Types.iface_id list }
+
+let resolve t app =
+  let matching =
+    List.find_opt
+      (fun r -> match r.app with None -> true | Some a -> a = app)
+      t.rule_list
+  in
+  match matching with
+  | None -> { weight = 1.0; allowed = [] }
+  | Some r ->
+      {
+        weight = Option.value r.weight ~default:1.0;
+        allowed = List.filter (spec_allows t r.ifaces) (iface_ids t);
+      }
+
+let apply t sched =
+  Hashtbl.iter
+    (fun name flow ->
+      let { weight; allowed } = resolve t name in
+      if Sched_intf.Packed.has_flow sched flow then begin
+        Sched_intf.Packed.set_weight sched flow weight;
+        Sched_intf.Packed.set_allowed sched flow allowed
+      end
+      else Sched_intf.Packed.add_flow sched ~flow ~weight ~allowed)
+    t.apps
+
+(* --- config-file syntax ------------------------------------------------- *)
+
+let spec_to_string = function
+  | Any -> "any"
+  | Only labels -> String.concat "," labels
+  | Except labels -> "!" ^ String.concat ",!" labels
+
+let rule_to_string r =
+  Printf.sprintf "%s : ifaces=%s%s"
+    (Option.value r.app ~default:"*")
+    (spec_to_string r.ifaces)
+    (match r.weight with None -> "" | Some w -> Printf.sprintf " weight=%g" w)
+
+let parse_spec s =
+  if s = "any" then Ok Any
+  else
+    let labels = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+    if labels = [] then Error "empty interface list"
+    else
+      let negated, plain =
+        List.partition (fun l -> String.length l > 0 && l.[0] = '!') labels
+      in
+      match (negated, plain) with
+      | [], plain -> Ok (Only plain)
+      | negated, [] ->
+          Ok
+            (Except
+               (List.map (fun l -> String.sub l 1 (String.length l - 1)) negated))
+      | _ -> Error "cannot mix negated and plain interface labels"
+
+let parse_line lineno line =
+  let stripped = String.trim line in
+  if stripped = "" || stripped.[0] = '#' then Ok None
+  else
+    match String.index_opt stripped ':' with
+    | None -> Error (Printf.sprintf "line %d: missing ':'" lineno)
+    | Some colon ->
+        let app = String.trim (String.sub stripped 0 colon) in
+        let rest =
+          String.trim
+            (String.sub stripped (colon + 1) (String.length stripped - colon - 1))
+        in
+        if app = "" then Error (Printf.sprintf "line %d: empty app name" lineno)
+        else
+          let fields =
+            String.split_on_char ' ' rest |> List.filter (fun f -> f <> "")
+          in
+          let spec = ref None and weight = ref None and err = ref None in
+          List.iter
+            (fun field ->
+              match String.index_opt field '=' with
+              | None ->
+                  err := Some (Printf.sprintf "line %d: bad field %S" lineno field)
+              | Some eq -> (
+                  let key = String.sub field 0 eq in
+                  let value =
+                    String.sub field (eq + 1) (String.length field - eq - 1)
+                  in
+                  match key with
+                  | "ifaces" -> (
+                      match parse_spec value with
+                      | Ok s -> spec := Some s
+                      | Error e ->
+                          err := Some (Printf.sprintf "line %d: %s" lineno e))
+                  | "weight" -> (
+                      match float_of_string_opt value with
+                      | Some w when w > 0.0 -> weight := Some w
+                      | _ ->
+                          err :=
+                            Some (Printf.sprintf "line %d: bad weight %S" lineno value))
+                  | other ->
+                      err :=
+                        Some (Printf.sprintf "line %d: unknown key %S" lineno other)))
+            fields;
+          match (!err, !spec) with
+          | Some e, _ -> Error e
+          | None, None -> Error (Printf.sprintf "line %d: missing ifaces=" lineno)
+          | None, Some spec ->
+              Ok
+                (Some
+                   {
+                     app = (if app = "*" then None else Some app);
+                     ifaces = spec;
+                     weight = !weight;
+                   })
+
+let parse_rules text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some rule) -> go (lineno + 1) (rule :: acc) rest
+        | Error e -> Error e)
+  in
+  go 1 [] lines
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Hashtbl.iter
+    (fun id info ->
+      Format.fprintf ppf "iface %d = %s [%s]@," id info.i_name
+        (String.concat "," info.classes))
+    t.ifaces;
+  Hashtbl.iter (fun name flow -> Format.fprintf ppf "app %s = flow %d@," name flow) t.apps;
+  List.iter (fun r -> Format.fprintf ppf "rule %s@," (rule_to_string r)) t.rule_list;
+  Format.fprintf ppf "@]"

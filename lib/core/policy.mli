@@ -1,0 +1,84 @@
+(** User-facing preference policies.
+
+    The scheduler consumes a weight vector and an interface-preference
+    matrix; users think in terms of {e apps} ("Netflix"), {e interface
+    classes} ("wifi", "cellular") and {e rules} ("Netflix may only use
+    WiFi, with twice the share").  This module is the small policy system
+    the paper's §3 assumes in front of miDRR: it names interfaces and apps,
+    evaluates ordered rules, and compiles the result into scheduler
+    registrations.
+
+    Rules can also be loaded from a config-file syntax, one rule per line:
+    {v
+    # app : ifaces=<class-or-name>[,...] [weight=W]
+    netflix : ifaces=wifi weight=2
+    skype   : ifaces=cellular
+    updates : ifaces=wifi
+    *       : ifaces=any
+    v}
+    The first matching rule wins; ["*"] matches every app; [ifaces=any]
+    allows all interfaces; [ifaces=!cellular] allows everything except a
+    class. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Naming} *)
+
+val add_iface :
+  t -> id:Types.iface_id -> name:string -> classes:string list -> unit
+(** Register an interface under a unique name with zero or more class
+    labels (e.g. ["wifi"], ["metered"]).  Raises [Invalid_argument] on a
+    duplicate id or name. *)
+
+val remove_iface : t -> Types.iface_id -> unit
+
+val iface_ids : t -> Types.iface_id list
+
+val add_app : t -> flow:Types.flow_id -> name:string -> unit
+(** Bind an application name to a flow id.  Raises [Invalid_argument] on
+    duplicates. *)
+
+val app_flow : t -> string -> Types.flow_id
+(** Raises [Not_found]. *)
+
+(** {1 Rules} *)
+
+type iface_spec =
+  | Any  (** all interfaces *)
+  | Only of string list  (** union of the named classes/interfaces *)
+  | Except of string list  (** complement of the union *)
+
+type rule = {
+  app : string option;  (** [None] matches every app (the ["*"] rule) *)
+  ifaces : iface_spec;
+  weight : float option;  (** [None] keeps the default weight 1.0 *)
+}
+
+val set_rules : t -> rule list -> unit
+(** Install the ordered rule list (first match wins). *)
+
+val rules : t -> rule list
+
+val parse_rules : string -> (rule list, string) result
+(** Parse the config-file syntax above.  On error, returns a message
+    naming the offending line. *)
+
+val rule_to_string : rule -> string
+
+(** {1 Resolution} *)
+
+type decision = { weight : float; allowed : Types.iface_id list }
+
+val resolve : t -> string -> decision
+(** Evaluate the rules for an app.  Apps with no matching rule get weight
+    1.0 and no interfaces (they cannot send — add a ["*"] catch-all rule to
+    avoid this).  Unknown class/interface names simply match nothing. *)
+
+val apply : t -> Sched_intf.packed -> unit
+(** Register every known app's flow into the scheduler with its resolved
+    weight and interface preference.  Flows already present are updated
+    ([set_weight] / [set_allowed]) instead. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+module Iset = Set.Make (Int)
+
+type entry = { mutable weight : float; mutable allowed : Iset.t }
+
+type t = { table : (Types.flow_id, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let declare_flow t ~flow ?(weight = 1.0) ~allowed () =
+  if not (weight > 0.0) then invalid_arg "Prefs.declare_flow: weight <= 0";
+  if Hashtbl.mem t.table flow then
+    invalid_arg "Prefs.declare_flow: duplicate flow";
+  Hashtbl.replace t.table flow { weight; allowed = Iset.of_list allowed }
+
+let forget_flow t flow = Hashtbl.remove t.table flow
+
+let entry t flow = Hashtbl.find t.table flow
+
+let set_weight t flow w =
+  if not (w > 0.0) then invalid_arg "Prefs.set_weight: weight <= 0";
+  (entry t flow).weight <- w
+
+let allow t ~flow ~iface =
+  let e = entry t flow in
+  e.allowed <- Iset.add iface e.allowed
+
+let deny t ~flow ~iface =
+  let e = entry t flow in
+  e.allowed <- Iset.remove iface e.allowed
+
+let weight t flow = (entry t flow).weight
+
+let allowed t ~flow ~iface =
+  match Hashtbl.find_opt t.table flow with
+  | None -> false
+  | Some e -> Iset.mem iface e.allowed
+
+let allowed_ifaces t flow =
+  match Hashtbl.find_opt t.table flow with
+  | None -> []
+  | Some e -> Iset.elements e.allowed
+
+let flows t =
+  Hashtbl.fold (fun flow _ acc -> flow :: acc) t.table [] |> List.sort compare
+
+let known t flow = Hashtbl.mem t.table flow
+
+let to_instance t ~capacities =
+  let flow_ids = flows t in
+  let iface_ids = List.map fst capacities in
+  let weights =
+    Array.of_list (List.map (fun f -> weight t f) flow_ids)
+  in
+  let caps = Array.of_list (List.map snd capacities) in
+  let allowed_matrix =
+    Array.of_list
+      (List.map
+         (fun f ->
+           Array.of_list
+             (List.map (fun j -> allowed t ~flow:f ~iface:j) iface_ids))
+         flow_ids)
+  in
+  Midrr_flownet.Instance.make ~weights ~capacities:caps ~allowed:allowed_matrix
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun f ->
+      let e = entry t f in
+      Format.fprintf ppf "flow %d: phi=%g ifaces={%s}@," f e.weight
+        (String.concat ","
+           (List.map string_of_int (Iset.elements e.allowed))))
+    (flows t);
+  Format.fprintf ppf "@]"

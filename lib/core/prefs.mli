@@ -1,0 +1,50 @@
+(** User preferences: the inputs to the scheduler.
+
+    A policy records, per flow, the {e rate preference} (weight [phi]) and
+    the {e interface preference} (the subset of interfaces the flow may
+    use — the row of the matrix [Pi]).  This is the "system managing user
+    preferences" of paper §3: applications/flows are registered against it
+    and the scheduler queries it. *)
+
+type t
+
+val create : unit -> t
+
+val declare_flow :
+  t -> flow:Types.flow_id -> ?weight:float -> allowed:Types.iface_id list -> unit -> unit
+(** Register a flow with its preferences.  [weight] defaults to [1.0] and
+    must be positive; [allowed] may be empty (such a flow is never
+    scheduled).  Raises [Invalid_argument] on duplicate registration. *)
+
+val forget_flow : t -> Types.flow_id -> unit
+(** Remove a flow's preferences.  No-op when unknown. *)
+
+val set_weight : t -> Types.flow_id -> float -> unit
+(** Update a rate preference.  Raises [Not_found] for unknown flows. *)
+
+val allow : t -> flow:Types.flow_id -> iface:Types.iface_id -> unit
+(** Add an interface to a flow's willing set. *)
+
+val deny : t -> flow:Types.flow_id -> iface:Types.iface_id -> unit
+(** Remove an interface from a flow's willing set. *)
+
+val weight : t -> Types.flow_id -> float
+(** Raises [Not_found] for unknown flows. *)
+
+val allowed : t -> flow:Types.flow_id -> iface:Types.iface_id -> bool
+(** The matrix entry pi_ij; [false] for unknown flows. *)
+
+val allowed_ifaces : t -> Types.flow_id -> Types.iface_id list
+(** Ascending; empty for unknown flows. *)
+
+val flows : t -> Types.flow_id list
+(** Registered flows, ascending. *)
+
+val known : t -> Types.flow_id -> bool
+
+val to_instance : t -> capacities:(Types.iface_id * float) list -> Midrr_flownet.Instance.t
+(** Freeze the policy into a solver instance over the given interfaces.
+    Flow row [i] of the result corresponds to the [i]-th element of
+    {!flows}; column [j] to the [j]-th capacity pair. *)
+
+val pp : Format.formatter -> t -> unit

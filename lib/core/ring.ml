@@ -1,0 +1,77 @@
+type 'a node = {
+  value : 'a;
+  mutable prev : 'a node;
+  mutable next : 'a node;
+  mutable linked : bool;
+}
+
+type 'a t = { mutable head : 'a node option; mutable length : int }
+
+let create () = { head = None; length = 0 }
+
+let is_empty t = t.length = 0
+
+let length t = t.length
+
+let value n = n.value
+
+let make_singleton v =
+  let rec n = { value = v; prev = n; next = n; linked = true } in
+  n
+
+let push_back t v =
+  match t.head with
+  | None ->
+      let n = make_singleton v in
+      t.head <- Some n;
+      t.length <- 1;
+      n
+  | Some head ->
+      let n = { value = v; prev = head.prev; next = head; linked = true } in
+      head.prev.next <- n;
+      head.prev <- n;
+      t.length <- t.length + 1;
+      n
+
+let insert_before t anchor v =
+  if not anchor.linked then invalid_arg "Ring.insert_before: removed anchor";
+  let n = { value = v; prev = anchor.prev; next = anchor; linked = true } in
+  anchor.prev.next <- n;
+  anchor.prev <- n;
+  t.length <- t.length + 1;
+  n
+
+let remove t n =
+  if not n.linked then invalid_arg "Ring.remove: node already removed";
+  n.linked <- false;
+  t.length <- t.length - 1;
+  if t.length = 0 then t.head <- None
+  else begin
+    n.prev.next <- n.next;
+    n.next.prev <- n.prev;
+    (match t.head with Some h when h == n -> t.head <- Some n.next | _ -> ())
+  end
+
+let is_member n = n.linked
+
+let head t = t.head
+
+let next t n =
+  if not n.linked then invalid_arg "Ring.next: removed node";
+  if t.length = 0 then invalid_arg "Ring.next: empty ring";
+  n.next
+
+let iter t f =
+  match t.head with
+  | None -> ()
+  | Some head ->
+      let rec go n =
+        f n.value;
+        if n.next != head then go n.next
+      in
+      go head
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun v -> acc := v :: !acc);
+  List.rev !acc

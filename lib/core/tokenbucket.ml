@@ -1,0 +1,47 @@
+type t = {
+  mutable fill_rate : float; (* bytes/s *)
+  bucket_size : float; (* bytes *)
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create ~rate ~burst =
+  if not (rate > 0.0) then invalid_arg "Tokenbucket.create: rate <= 0";
+  if not (burst > 0.0) then invalid_arg "Tokenbucket.create: burst <= 0";
+  { fill_rate = rate; bucket_size = burst; tokens = burst; last = 0.0 }
+
+let rate t = t.fill_rate
+let burst t = t.bucket_size
+
+let settle t ~now =
+  if now > t.last then begin
+    t.tokens <-
+      Float.min t.bucket_size (t.tokens +. ((now -. t.last) *. t.fill_rate));
+    t.last <- now
+  end
+
+let available t ~now =
+  settle t ~now;
+  t.tokens
+
+let try_consume t ~now ~bytes =
+  if bytes < 0 then invalid_arg "Tokenbucket.try_consume: negative bytes";
+  settle t ~now;
+  let need = Float.of_int bytes in
+  if t.tokens >= need then begin
+    t.tokens <- t.tokens -. need;
+    true
+  end
+  else false
+
+let time_until t ~now ~bytes =
+  settle t ~now;
+  let need = Float.of_int bytes in
+  if need > t.bucket_size then Float.infinity
+  else if t.tokens >= need then 0.0
+  else (need -. t.tokens) /. t.fill_rate
+
+let set_rate t ~now new_rate =
+  if not (new_rate > 0.0) then invalid_arg "Tokenbucket.set_rate: rate <= 0";
+  settle t ~now;
+  t.fill_rate <- new_rate

@@ -1,0 +1,30 @@
+(** Shared identifiers and unit helpers for the scheduler core.
+
+    Flows and interfaces are identified by small integers chosen by the
+    caller; the scheduler treats them as opaque keys.  Rates are bits per
+    second, sizes are bytes, times are seconds — all conversions go through
+    the helpers here so the units stay consistent across the repository. *)
+
+type flow_id = int
+type iface_id = int
+
+val mbps : float -> float
+(** [mbps x] is [x] megabits/s in bits/s. *)
+
+val kbps : float -> float
+(** [kbps x] is [x] kilobits/s in bits/s. *)
+
+val gbps : float -> float
+(** [gbps x] is [x] gigabits/s in bits/s. *)
+
+val to_mbps : float -> float
+(** bits/s to Mb/s. *)
+
+val bytes_to_bits : int -> float
+
+val tx_time : bytes:int -> rate:float -> float
+(** Transmission time in seconds of [bytes] on a [rate] bit/s line.
+    Raises [Invalid_argument] when [rate <= 0]. *)
+
+val pp_rate : Format.formatter -> float -> unit
+(** Render a bit/s value with an adaptive unit (b/s, kb/s, Mb/s, Gb/s). *)

@@ -1,0 +1,153 @@
+module Iset = Set.Make (Int)
+
+type flow = {
+  f_id : Types.flow_id;
+  mutable weight : float;
+  mutable allowed : Iset.t;
+  queue : Pktqueue.t;
+  mutable served : int;
+  served_on : (Types.iface_id, int) Hashtbl.t;
+  finish : (Types.iface_id, float) Hashtbl.t; (* F_ij, normalized bytes *)
+}
+
+type iface = { mutable vtime : float }
+
+type t = {
+  queue_capacity : int option;
+  flows_tbl : (Types.flow_id, flow) Hashtbl.t;
+  ifaces_tbl : (Types.iface_id, iface) Hashtbl.t;
+}
+
+let create ?queue_capacity () =
+  {
+    queue_capacity;
+    flows_tbl = Hashtbl.create 64;
+    ifaces_tbl = Hashtbl.create 16;
+  }
+
+let name _ = "wfq-per-interface"
+
+let flow_state t f =
+  match Hashtbl.find_opt t.flows_tbl f with
+  | Some fs -> fs
+  | None -> invalid_arg "Wfq: unknown flow"
+
+let iface_state t j =
+  match Hashtbl.find_opt t.ifaces_tbl j with
+  | Some s -> s
+  | None -> invalid_arg "Wfq: unknown interface"
+
+let has_iface t j = Hashtbl.mem t.ifaces_tbl j
+
+let add_iface t j =
+  if has_iface t j then invalid_arg "Wfq.add_iface: duplicate";
+  Hashtbl.replace t.ifaces_tbl j { vtime = 0.0 }
+
+let remove_iface t j = Hashtbl.remove t.ifaces_tbl j
+
+let ifaces t =
+  Hashtbl.fold (fun j _ acc -> j :: acc) t.ifaces_tbl [] |> List.sort compare
+
+let has_flow t f = Hashtbl.mem t.flows_tbl f
+
+let add_flow t ~flow ~weight ~allowed =
+  if has_flow t flow then invalid_arg "Wfq.add_flow: duplicate";
+  if not (weight > 0.0) then invalid_arg "Wfq.add_flow: weight <= 0";
+  Hashtbl.replace t.flows_tbl flow
+    {
+      f_id = flow;
+      weight;
+      allowed = Iset.of_list allowed;
+      queue = Pktqueue.create ?capacity_bytes:t.queue_capacity ();
+      served = 0;
+      served_on = Hashtbl.create 8;
+      finish = Hashtbl.create 8;
+    }
+
+let remove_flow t f = Hashtbl.remove t.flows_tbl f
+
+let flows t =
+  Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl [] |> List.sort compare
+
+let set_weight t f w =
+  if not (w > 0.0) then invalid_arg "Wfq.set_weight: weight <= 0";
+  (flow_state t f).weight <- w
+
+let set_allowed t f allowed = (flow_state t f).allowed <- Iset.of_list allowed
+
+let allowed_ifaces t f = Iset.elements (flow_state t f).allowed
+
+let enqueue t (p : Packet.t) =
+  match Hashtbl.find_opt t.flows_tbl p.flow with
+  | None -> false
+  | Some fs -> Pktqueue.push fs.queue p
+
+let next_packet t j =
+  let ifc = iface_state t j in
+  (* Select the eligible backlogged flow with the smallest start tag
+     max(v_j, F_ij); ties break on flow id for determinism. *)
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ fs ->
+      if Iset.mem j fs.allowed && not (Pktqueue.is_empty fs.queue) then begin
+        let f_tag =
+          Option.value (Hashtbl.find_opt fs.finish j) ~default:0.0
+        in
+        let start = Float.max ifc.vtime f_tag in
+        match !best with
+        | Some (s, other) when s < start || (s = start && other.f_id < fs.f_id)
+          ->
+            ()
+        | _ -> best := Some (start, fs)
+      end)
+    t.flows_tbl;
+  match !best with
+  | None -> None
+  | Some (start, fs) ->
+      let pkt = Option.get (Pktqueue.pop fs.queue) in
+      ifc.vtime <- start;
+      Hashtbl.replace fs.finish j
+        (start +. (Float.of_int pkt.size /. fs.weight));
+      fs.served <- fs.served + pkt.size;
+      let prev = Option.value (Hashtbl.find_opt fs.served_on j) ~default:0 in
+      Hashtbl.replace fs.served_on j (prev + pkt.size);
+      Some pkt
+
+let backlog_bytes t f = Pktqueue.backlog_bytes (flow_state t f).queue
+let backlog_packets t f = Pktqueue.length (flow_state t f).queue
+let is_backlogged t f = not (Pktqueue.is_empty (flow_state t f).queue)
+let served_bytes t f = (flow_state t f).served
+
+let served_bytes_on t ~flow ~iface =
+  Option.value (Hashtbl.find_opt (flow_state t flow).served_on iface) ~default:0
+
+let virtual_time t j = (iface_state t j).vtime
+
+let finish_tag t ~flow ~iface =
+  Option.value (Hashtbl.find_opt (flow_state t flow).finish iface) ~default:0.0
+
+let packed t =
+  let module M = struct
+    type nonrec t = t
+
+    let name = name
+    let add_iface = add_iface
+    let remove_iface = remove_iface
+    let has_iface = has_iface
+    let ifaces = ifaces
+    let add_flow = add_flow
+    let remove_flow = remove_flow
+    let has_flow = has_flow
+    let flows = flows
+    let set_weight = set_weight
+    let set_allowed = set_allowed
+    let allowed_ifaces = allowed_ifaces
+    let enqueue = enqueue
+    let next_packet = next_packet
+    let backlog_bytes = backlog_bytes
+    let backlog_packets = backlog_packets
+    let is_backlogged = is_backlogged
+    let served_bytes = served_bytes
+    let served_bytes_on = served_bytes_on
+  end in
+  Sched_intf.Packed ((module M), t)

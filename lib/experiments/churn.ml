@@ -1,0 +1,147 @@
+open Midrr_core
+module Netsim = Midrr_sim.Netsim
+module Link = Midrr_sim.Link
+module Gen = Midrr_trace.Gen
+module Maxmin = Midrr_flownet.Maxmin
+module Rng = Midrr_stats.Rng
+module Summary = Midrr_stats.Summary
+
+type result = {
+  windows : int;
+  mean_jain : float;
+  min_jain : float;
+  violations : int;
+  starved_windows : int;
+  peak_concurrent : int;
+}
+
+let ifaces = [ (1, Types.mbps 3.0); (2, Types.mbps 8.0); (3, Types.mbps 5.0) ]
+
+type churn_flow = {
+  id : int;
+  start : float;
+  stop : float;
+  weight : float;
+  allowed : Types.iface_id list;
+}
+
+(* Draw flow lifetimes from the smartphone trace model, then attach random
+   weights and interface preferences. *)
+let make_flows ~seed ~horizon =
+  let params =
+    {
+      Gen.default_params with
+      horizon;
+      sessions_per_waking_hour = 60.0;
+      waking_start = 0.0;
+      waking_stop = 24.0;
+    }
+  in
+  let trace = Gen.generate ~seed params in
+  let rng = Rng.create ~seed:(seed + 1) in
+  let eligible =
+    List.filter (fun (iv : Gen.interval) -> iv.stop -. iv.start >= 3.0) trace
+  in
+  List.filteri (fun i _ -> i < 120) eligible
+  |> List.mapi (fun i (iv : Gen.interval) ->
+         let all = List.map fst ifaces in
+         let allowed =
+           List.filter (fun _ -> Rng.bernoulli rng ~p:0.6) all
+         in
+         let allowed = if allowed = [] then [ Rng.choose rng (Array.of_list all) ] else allowed in
+         {
+           id = i;
+           start = iv.start;
+           stop = iv.stop;
+           weight = (if Rng.bernoulli rng ~p:0.3 then 2.0 else 1.0);
+           allowed;
+         })
+
+let run ?(seed = 17) ?(horizon = 240.0)
+    ?(sched = fun () -> Midrr.packed (Midrr.create ())) () =
+  let flows = make_flows ~seed ~horizon in
+  let sched = sched () in
+  let sim = Netsim.create ~bin:1.0 ~sched () in
+  List.iter (fun (j, c) -> Netsim.add_iface sim j (Link.constant c)) ifaces;
+  List.iter
+    (fun f ->
+      Netsim.add_flow sim f.id ~at:f.start ~weight:f.weight ~allowed:f.allowed
+        (Netsim.Backlogged { pkt_size = 1000 });
+      Netsim.remove_flow sim ~at:f.stop f.id)
+    flows;
+  (* Sliding 5 s windows: for each, compare the rates of flows alive
+     throughout against the per-window water-filling reference. *)
+  let window = 5.0 in
+  let results = ref [] in
+  let starved = ref 0 in
+  let rec plan t0 =
+    let t1 = t0 +. window in
+    if t1 < horizon then begin
+      let snap = ref None in
+      Netsim.at sim t0 (fun () -> snap := Some (Netsim.snapshot sim));
+      Netsim.at sim t1 (fun () ->
+          let covered =
+            List.filter
+              (fun f -> f.start <= t0 -. 0.5 && f.stop >= t1 +. 0.5)
+              flows
+          in
+          if List.length covered >= 2 then begin
+            let ids = List.map (fun f -> f.id) covered in
+            let iface_ids = List.map fst ifaces in
+            let share =
+              Netsim.share_since sim (Option.get !snap) ~flows:ids
+                ~ifaces:iface_ids
+            in
+            let rates =
+              Array.map (fun row -> Array.fold_left ( +. ) 0.0 row) share
+            in
+            let inst = Netsim.instance_of sim ~flows:ids ~ifaces:iface_ids in
+            let reference = Maxmin.solve inst in
+            let ratios =
+              Array.mapi
+                (fun i r ->
+                  if reference.rates.(i) > 0.0 then r /. reference.rates.(i)
+                  else 1.0)
+                rates
+            in
+            Array.iter (fun r -> if r <= 0.0 then incr starved) ratios;
+            results :=
+              (Summary.jain_index ratios, List.length covered) :: !results
+          end);
+      plan (t0 +. window)
+    end
+  in
+  plan 10.0;
+  Netsim.run sim ~until:horizon;
+  (* Preference violations: any bytes on a banned interface. *)
+  let violations = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (j, _) ->
+          if not (List.mem j f.allowed) then
+            violations := !violations + Netsim.served_cell sim ~flow:f.id ~iface:j)
+        ifaces)
+    flows;
+  let jains = List.map fst !results in
+  let peak = List.fold_left (fun acc (_, n) -> Stdlib.max acc n) 0 !results in
+  {
+    windows = List.length jains;
+    mean_jain = Summary.mean (Array.of_list jains);
+    min_jain = List.fold_left Float.min 1.0 jains;
+    violations = !violations;
+    starved_windows = !starved;
+    peak_concurrent = peak;
+  }
+
+let print ppf r =
+  Format.fprintf ppf "@[<v>Churn stress: fairness under flow arrivals and \
+                      departures@,";
+  Format.fprintf ppf "windows measured: %d (5 s each)@," r.windows;
+  Format.fprintf ppf "Jain index of measured/reference ratios: mean %.4f, \
+                      min %.4f@,"
+    r.mean_jain r.min_jain;
+  Format.fprintf ppf "preference violations: %d bytes@," r.violations;
+  Format.fprintf ppf "starved (window, flow) pairs: %d@," r.starved_windows;
+  Format.fprintf ppf "peak concurrent measured flows: %d@," r.peak_concurrent;
+  Format.fprintf ppf "@]"

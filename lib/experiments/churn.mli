@@ -1,0 +1,28 @@
+(** Stress study: fairness under realistic flow churn.
+
+    The paper evaluates steady backlogged flows; a phone's reality is the
+    Fig. 7 churn — dozens of flows arriving and departing.  This study
+    drives the scheduler with flows whose arrivals and lifetimes come from
+    the synthetic smartphone trace and measures fairness over sliding
+    windows: the weighted Jain index of the rates of flows that stayed
+    backlogged through each window, plus preference-violation and
+    starvation counters.
+
+    Expected shape: the Jain index stays near 1 in every window (miDRR
+    redistributes within a few quanta of each arrival/departure), no
+    violations, no starved flows. *)
+
+type result = {
+  windows : int;
+  mean_jain : float;
+  min_jain : float;
+  violations : int;  (** bytes observed on a banned interface *)
+  starved_windows : int;
+      (** (window, flow) pairs where a continuously backlogged flow got
+          nothing *)
+  peak_concurrent : int;
+}
+
+val run : ?seed:int -> ?horizon:float -> ?sched:(unit -> Midrr_core.Sched_intf.packed) -> unit -> result
+
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,173 @@
+open Midrr_core
+module Netsim = Midrr_sim.Netsim
+module Link = Midrr_sim.Link
+module Maxmin = Midrr_flownet.Maxmin
+module Cluster = Midrr_flownet.Cluster
+
+type phase = {
+  label : string;
+  t0 : float;
+  t1 : float;
+  flows : int list;
+  rates : (int * float) list;
+  reference : (int * float) list;
+  clusters : Cluster.t list;
+  violations : Cluster.violation list;
+}
+
+type result = {
+  series : (int * (float * float) array) list;
+  transient : (int * (float * float) array) list;
+  completion_a : float;
+  completion_b : float;
+  phases : phase list;
+}
+
+let flow_a = 0
+let flow_b = 1
+let flow_c = 2
+
+let mb_to_bytes mb = int_of_float (mb *. 1e6 /. 8.0)
+
+let build ~bin =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~bin ~sched () in
+  Netsim.add_iface sim 1 (Link.constant (Types.mbps 3.0));
+  Netsim.add_iface sim 2 (Link.constant (Types.mbps 10.0));
+  Netsim.add_flow sim flow_a ~weight:1.0 ~allowed:[ 1 ]
+    (Netsim.Finite { total_bytes = mb_to_bytes 198.0; pkt_size = 1500 });
+  Netsim.add_flow sim flow_b ~weight:2.0 ~allowed:[ 1; 2 ]
+    (Netsim.Finite { total_bytes = mb_to_bytes 604.67; pkt_size = 1500 });
+  Netsim.add_flow sim flow_c ~weight:1.0 ~allowed:[ 2 ]
+    (Netsim.Backlogged { pkt_size = 1500 });
+  sim
+
+(* Measure one phase window: rates, reference allocation and clusters, using
+   snapshots planted before the run reaches the window. *)
+let plan_phase sim ~label ~t0 ~t1 ~flows acc =
+  let snap = ref None in
+  Netsim.at sim t0 (fun () -> snap := Some (Netsim.snapshot sim));
+  Netsim.at sim t1 (fun () ->
+      let snap = Option.get !snap in
+      let ifaces = [ 1; 2 ] in
+      let share = Netsim.share_since sim snap ~flows ~ifaces in
+      let rates = Array.map (fun row -> Array.fold_left ( +. ) 0.0 row) share in
+      let inst = Netsim.instance_of sim ~flows ~ifaces in
+      let reference = Maxmin.solve inst in
+      (* 3% tolerance: packetized service wobbles around the fluid rates. *)
+      let violations = Cluster.check ~tol:0.03 inst ~share ~rates in
+      let clusters = Cluster.decompose inst ~share ~rates in
+      acc :=
+        {
+          label;
+          t0;
+          t1;
+          flows;
+          rates =
+            List.mapi (fun i f -> (f, Types.to_mbps rates.(i))) flows;
+          reference =
+            List.mapi
+              (fun i f -> (f, Types.to_mbps reference.rates.(i)))
+              flows;
+          clusters;
+          violations;
+        }
+        :: !acc)
+
+let run () =
+  (* Full run at 1 s bins for the Fig. 6(b) series and phase measurements. *)
+  let sim = build ~bin:1.0 in
+  let phases = ref [] in
+  plan_phase sim ~label:"phase 1 (0-66s)" ~t0:10.0 ~t1:60.0
+    ~flows:[ flow_a; flow_b; flow_c ] phases;
+  plan_phase sim ~label:"phase 2 (66-85s)" ~t0:69.0 ~t1:83.0
+    ~flows:[ flow_b; flow_c ] phases;
+  plan_phase sim ~label:"phase 3 (85-100s)" ~t0:88.0 ~t1:99.0
+    ~flows:[ flow_c ] phases;
+  Netsim.run sim ~until:100.0;
+  let series =
+    List.map (fun f -> (f, Netsim.rate_series sim f)) [ flow_a; flow_b; flow_c ]
+  in
+  let completion_a = Option.value (Netsim.completion_time sim flow_a) ~default:Float.nan in
+  let completion_b = Option.value (Netsim.completion_time sim flow_b) ~default:Float.nan in
+  (* Separate fine-grained run for the Fig. 6(c) transient. *)
+  let fine = build ~bin:0.25 in
+  Netsim.run fine ~until:5.0;
+  let transient =
+    List.map (fun f -> (f, Netsim.rate_series fine f)) [ flow_a; flow_b; flow_c ]
+  in
+  {
+    series;
+    transient;
+    completion_a;
+    completion_b;
+    phases = List.rev !phases;
+  }
+
+let flow_name f =
+  match f with
+  | f when f = flow_a -> "a"
+  | f when f = flow_b -> "b"
+  | _ -> "c"
+
+let print_series ppf series =
+  let times =
+    match series with (_, s) :: _ -> Array.map fst s | [] -> [||]
+  in
+  Format.fprintf ppf "  %6s" "t(s)";
+  List.iter (fun (f, _) -> Format.fprintf ppf " %8s" (flow_name f)) series;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun i t ->
+      Format.fprintf ppf "  %6.2f" t;
+      List.iter
+        (fun (_, s) ->
+          let v = if i < Array.length s then snd s.(i) else 0.0 in
+          Format.fprintf ppf " %8.3f" v)
+        series;
+      Format.fprintf ppf "@,")
+    times
+
+let print ppf r =
+  Format.fprintf ppf
+    "@[<v>Figure 6: three flows over two interfaces (rates in Mb/s)@,";
+  Format.fprintf ppf "flow a completes at %.2fs (paper: 66s)@," r.completion_a;
+  Format.fprintf ppf "flow b completes at %.2fs (paper: 85s)@," r.completion_b;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@,%s (measured over %.0f-%.0fs):@," p.label p.t0
+        p.t1;
+      List.iter
+        (fun (f, rate) ->
+          let reference = List.assoc f p.reference in
+          Format.fprintf ppf "  flow %s: %.3f Mb/s (reference %.3f)@,"
+            (flow_name f) rate reference)
+        p.rates;
+      Format.fprintf ppf "  rate clustering violations: %d@,"
+        (List.length p.violations))
+    r.phases;
+  Format.fprintf ppf "@,Figure 6(b) series (1s bins):@,";
+  print_series ppf r.series;
+  Format.fprintf ppf "@,Figure 6(c) transient (0.25s bins, first 5s):@,";
+  print_series ppf r.transient;
+  Format.fprintf ppf "@]"
+
+let print_clusters ppf r =
+  Format.fprintf ppf "@[<v>Figure 8: cluster evolution@,";
+  List.iter
+    (fun p ->
+      (* Cluster members are indices into the phase's flow/interface lists;
+         translate back to the scenario's names. *)
+      let flow_of i = flow_name (List.nth p.flows i) in
+      let iface_of i = Printf.sprintf "if%d" (List.nth [ 1; 2 ] i) in
+      Format.fprintf ppf "@,%s:@," p.label;
+      List.iteri
+        (fun k (c : Cluster.t) ->
+          Format.fprintf ppf
+            "  cluster %d: flows={%s} ifaces={%s} norm-rate=%.3f Mb/s@," k
+            (String.concat "," (List.map flow_of c.flows))
+            (String.concat "," (List.map iface_of c.ifaces))
+            (Types.to_mbps c.norm_rate))
+        p.clusters)
+    r.phases;
+  Format.fprintf ppf "@]"

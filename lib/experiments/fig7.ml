@@ -1,0 +1,37 @@
+module Gen = Midrr_trace.Gen
+module Concurrent = Midrr_trace.Concurrent
+
+type result = {
+  cdf : Midrr_stats.Cdf.t;
+  fraction_ge_7 : float;
+  max_concurrent : int;
+  total_flows : int;
+  active_fraction : float;
+}
+
+let run ?(seed = 11) ?(days = 7.0) () =
+  let params =
+    { Gen.default_params with horizon = days *. 86400.0 }
+  in
+  let trace = Gen.generate ~seed params in
+  {
+    cdf = Concurrent.active_cdf trace;
+    fraction_ge_7 = Concurrent.fraction_at_least trace 7;
+    max_concurrent = Concurrent.max_concurrent trace;
+    total_flows = Gen.total_flows trace;
+    active_fraction = Concurrent.active_fraction ~horizon:params.horizon trace;
+  }
+
+let print ppf r =
+  Format.fprintf ppf
+    "@[<v>Figure 7: CDF of concurrent flows (active periods)@,";
+  Format.fprintf ppf "flows generated: %d@," r.total_flows;
+  Format.fprintf ppf "active fraction of trace: %.3f@," r.active_fraction;
+  Format.fprintf ppf "P(concurrent >= 7 | active) = %.3f (paper ~0.10)@,"
+    r.fraction_ge_7;
+  Format.fprintf ppf "max concurrent = %d (paper ~35)@," r.max_concurrent;
+  Format.fprintf ppf "CDF points (count, P(X<=count)):@,";
+  Array.iter
+    (fun (v, p) -> Format.fprintf ppf "  %2.0f  %.4f@," v p)
+    (Midrr_stats.Cdf.points r.cdf);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,17 @@
+(** Experiment: concurrent flows on a smartphone (paper §6.1, Figure 7).
+
+    Generates a synthetic week of smartphone traffic and reports the
+    time-weighted CDF of concurrent flows over active periods.  Paper shape:
+    about 10% of active time has >= 7 flows, and the maximum is ~35. *)
+
+type result = {
+  cdf : Midrr_stats.Cdf.t;
+  fraction_ge_7 : float;
+  max_concurrent : int;
+  total_flows : int;
+  active_fraction : float;
+}
+
+val run : ?seed:int -> ?days:float -> unit -> result
+
+val print : Format.formatter -> result -> unit

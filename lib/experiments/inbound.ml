@@ -1,0 +1,141 @@
+open Midrr_core
+module Netsim = Midrr_sim.Netsim
+module Proxy = Midrr_http.Proxy
+module Link = Midrr_sim.Link
+module Instance = Midrr_flownet.Instance
+module Maxmin = Midrr_flownet.Maxmin
+
+type phase = {
+  label : string;
+  reference : float array;
+  in_network : float array;
+  client_http : float array;
+}
+
+type result = {
+  phases : phase list;
+  mean_err_in_network : float;
+  mean_err_client_http : float;
+}
+
+(* The Fig. 10 link schedule and flow set. *)
+let if1_profile () =
+  Link.steps ~initial:(Types.mbps 12.0)
+    [ (11.0, Types.mbps 4.0); (18.0, Types.mbps 12.0); (29.0, Types.mbps 4.0) ]
+
+let if2_profile () =
+  Link.steps ~initial:(Types.mbps 5.0)
+    [ (11.0, Types.mbps 10.0); (18.0, Types.mbps 5.0); (29.0, Types.mbps 10.0) ]
+
+let windows =
+  [
+    ("phase 0-11s", 2.0, 10.5);
+    ("phase 11-18s", 12.5, 17.5);
+    ("phase 18-29s", 20.0, 28.5);
+    ("phase 29-45s", 31.0, 44.0);
+  ]
+
+let horizon = 45.0
+
+let allowed_of = function 0 -> [ 1 ] | 1 -> [ 1; 2 ] | _ -> [ 2 ]
+
+let reference_for ~t0 ~t1 =
+  let capacities =
+    [|
+      Link.average (if1_profile ()) ~t0 ~t1;
+      Link.average (if2_profile ()) ~t0 ~t1;
+    |]
+  in
+  let inst =
+    Instance.make ~weights:[| 1.0; 1.0; 1.0 |] ~capacities
+      ~allowed:[| [| true; false |]; [| true; true |]; [| false; true |] |]
+  in
+  Array.map Types.to_mbps (Maxmin.solve inst).rates
+
+(* Fig. 4: the in-network proxy sees individual packets and runs miDRR
+   directly in front of the two last-mile links. *)
+let run_in_network () =
+  let sched = Midrr.packed (Midrr.create ~counter_max:4 ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 1 (if1_profile ());
+  Netsim.add_iface sim 2 (if2_profile ());
+  for f = 0 to 2 do
+    Netsim.add_flow sim f ~weight:1.0 ~allowed:(allowed_of f)
+      (Netsim.Backlogged { pkt_size = 1400 })
+  done;
+  Netsim.run sim ~until:horizon;
+  List.map
+    (fun (_, t0, t1) ->
+      Array.init 3 (fun f -> Netsim.avg_rate sim f ~t0 ~t1))
+    windows
+
+(* Fig. 5: the client proxy schedules byte-range chunks with a request
+   round-trip, as in the Fig. 10 reproduction. *)
+let run_client_http () =
+  let sched = Midrr.packed (Midrr.create ~base_quantum:65536 ~counter_max:4 ()) in
+  let proxy =
+    Proxy.create ~chunk_size:65536 ~pipeline_depth:4 ~rtt:0.03 ~sched ()
+  in
+  Proxy.add_iface proxy 1 (if1_profile ());
+  Proxy.add_iface proxy 2 (if2_profile ());
+  for f = 0 to 2 do
+    Proxy.add_transfer proxy f ~weight:1.0 ~allowed:(allowed_of f) ()
+  done;
+  Proxy.run proxy ~until:horizon;
+  List.map
+    (fun (_, t0, t1) ->
+      Array.init 3 (fun f -> Proxy.avg_goodput proxy f ~t0 ~t1))
+    windows
+
+let mean_err rows references =
+  let total = ref 0.0 and n = ref 0 in
+  List.iter2
+    (fun measured reference ->
+      Array.iteri
+        (fun i v ->
+          if reference.(i) > 0.0 then begin
+            total := !total +. (100.0 *. Float.abs (v -. reference.(i)) /. reference.(i));
+            incr n
+          end)
+        measured)
+    rows references;
+  !total /. Float.of_int (Stdlib.max 1 !n)
+
+let run () =
+  let references = List.map (fun (_, t0, t1) -> reference_for ~t0 ~t1) windows in
+  let in_network = run_in_network () in
+  let client_http = run_client_http () in
+  let phases =
+    List.map2
+      (fun ((label, _, _), reference) (inn, http) ->
+        { label; reference; in_network = inn; client_http = http })
+      (List.combine windows references)
+      (List.combine in_network client_http)
+  in
+  {
+    phases;
+    mean_err_in_network = mean_err in_network references;
+    mean_err_client_http = mean_err client_http references;
+  }
+
+let print ppf r =
+  Format.fprintf ppf
+    "@[<v>Inbound scheduling: in-network ideal (Fig. 4) vs client HTTP \
+     proxy (Fig. 5)@,";
+  Format.fprintf ppf "  %-14s %-9s %23s %23s@," "" "" "in-network (pkts)"
+    "client HTTP (chunks)";
+  Format.fprintf ppf "  %-14s %-9s %23s %23s@," "phase" "flow ref"
+    "a / b / c" "a / b / c";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "  %-14s %.1f/%.1f/%.1f   %6.2f /%6.2f /%6.2f   %6.2f /%6.2f /%6.2f@,"
+        p.label p.reference.(0) p.reference.(1) p.reference.(2)
+        p.in_network.(0) p.in_network.(1) p.in_network.(2)
+        p.client_http.(0) p.client_http.(1) p.client_http.(2))
+    r.phases;
+  Format.fprintf ppf
+    "mean relative error vs reference: in-network %.2f%%, client HTTP \
+     %.2f%%@,"
+    r.mean_err_in_network r.mean_err_client_http;
+  Format.fprintf ppf "@]"

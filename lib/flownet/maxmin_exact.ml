@@ -1,0 +1,120 @@
+type instance = {
+  weights : Rat.t array;
+  capacities : Rat.t array;
+  allowed : bool array array;
+}
+
+let of_float_instance (inst : Instance.t) =
+  {
+    weights = Array.map Rat.of_float_approx inst.weights;
+    capacities = Array.map Rat.of_float_approx inst.capacities;
+    allowed = Array.map Array.copy inst.allowed;
+  }
+
+let validate inst =
+  let n = Array.length inst.weights and m = Array.length inst.capacities in
+  if Array.length inst.allowed <> n then
+    invalid_arg "Maxmin_exact.solve: shape mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then
+        invalid_arg "Maxmin_exact.solve: ragged matrix")
+    inst.allowed;
+  if n > 16 then invalid_arg "Maxmin_exact.solve: more than 16 flows";
+  Array.iter
+    (fun w ->
+      if Rat.sign w <= 0 then
+        invalid_arg "Maxmin_exact.solve: non-positive weight")
+    inst.weights
+
+(* Capacity of the interface neighborhood of a flow subset (bitmask). *)
+let neighborhood_capacity inst mask =
+  let n = Array.length inst.weights and m = Array.length inst.capacities in
+  let total = ref Rat.zero in
+  for j = 0 to m - 1 do
+    let touched = ref false in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 && inst.allowed.(i).(j) then touched := true
+    done;
+    if !touched then total := Rat.add !total inst.capacities.(j)
+  done;
+  !total
+
+let solve inst =
+  validate inst;
+  let n = Array.length inst.weights in
+  let rates = Array.make n Rat.zero in
+  let connected i = Array.exists Fun.id inst.allowed.(i) in
+  let frozen = Array.init n (fun i -> not (connected i)) in
+  let active_exists () = Array.exists (fun f -> not f) frozen in
+  while active_exists () do
+    (* Water level of this round: min over subsets containing at least one
+       active flow of (C(N(A)) - frozen demand in A) / active weight in A.
+       Restricting to subsets of (active ∪ frozen) is handled implicitly:
+       frozen flows inside A consume their fixed rate from the
+       neighborhood. *)
+    let best_level = ref None in
+    let tight = ref 0 in
+    for mask = 1 to (1 lsl n) - 1 do
+      let active_weight = ref Rat.zero and frozen_demand = ref Rat.zero in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then
+          if frozen.(i) then frozen_demand := Rat.add !frozen_demand rates.(i)
+          else active_weight := Rat.add !active_weight inst.weights.(i)
+      done;
+      if Rat.sign !active_weight > 0 then begin
+        let cap = neighborhood_capacity inst mask in
+        let level = Rat.div (Rat.sub cap !frozen_demand) !active_weight in
+        match !best_level with
+        | None ->
+            best_level := Some level;
+            tight := mask
+        | Some l ->
+            let c = Rat.compare level l in
+            if c < 0 then begin
+              best_level := Some level;
+              tight := mask
+            end
+            else if c = 0 then tight := !tight lor mask
+      end
+    done;
+    let level = Option.get !best_level in
+    (* Collect the union of all tight subsets at this level: every active
+       flow inside one is bottlenecked and freezes. *)
+    let union_tight = ref 0 in
+    for mask = 1 to (1 lsl n) - 1 do
+      let active_weight = ref Rat.zero and frozen_demand = ref Rat.zero in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then
+          if frozen.(i) then frozen_demand := Rat.add !frozen_demand rates.(i)
+          else active_weight := Rat.add !active_weight inst.weights.(i)
+      done;
+      if Rat.sign !active_weight > 0 then begin
+        let cap = neighborhood_capacity inst mask in
+        let lhs = Rat.add (Rat.mul !active_weight level) !frozen_demand in
+        if Rat.equal lhs cap then union_tight := !union_tight lor mask
+      end
+    done;
+    let any = ref false in
+    for i = 0 to n - 1 do
+      if (not frozen.(i)) && !union_tight land (1 lsl i) <> 0 then begin
+        frozen.(i) <- true;
+        rates.(i) <- Rat.mul inst.weights.(i) level;
+        any := true
+      end
+    done;
+    if not !any then
+      (* No subset is tight: capacity exceeds what any subset can absorb
+         only if the level was +infinite, which cannot happen with finite
+         capacities; freeze everything defensively. *)
+      for i = 0 to n - 1 do
+        if not frozen.(i) then begin
+          frozen.(i) <- true;
+          rates.(i) <- Rat.mul inst.weights.(i) level
+        end
+      done
+  done;
+  rates
+
+let solve_floats inst =
+  Array.map Rat.to_float (solve (of_float_instance inst))

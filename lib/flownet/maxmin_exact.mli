@@ -1,0 +1,35 @@
+(** Exact weighted max-min solver over rationals (small instances).
+
+    Progressive filling in closed form: by the deficiency (Hall) condition,
+    a uniform normalized rate [t] (flow [i] demanding [phi_i * t]) is
+    feasible iff for every subset [A] of active flows
+
+    {v sum_{i in A} phi_i * t  <=  C(N(A)) - (frozen demand inside A) v}
+
+    where [N(A)] is the union of interfaces the flows of [A] may use.  The
+    water level of each round is therefore the exact minimum over subsets
+    of [(C(N(A)) - frozen(A)) / phi(A)], and the flows of every tight
+    subset freeze at that level.  Subset enumeration is exponential, so
+    this solver is for calibration: cross-validating {!Maxmin}'s
+    float/binary-search answers in the test suite, at up to ~12 flows.
+
+    All arithmetic is {!Rat}-exact; {!Rat.Overflow} propagates if 64-bit
+    rationals cannot represent an intermediate value. *)
+
+type instance = {
+  weights : Rat.t array;  (** phi, positive *)
+  capacities : Rat.t array;  (** interface rates, non-negative *)
+  allowed : bool array array;
+}
+
+val of_float_instance : Instance.t -> instance
+(** Convert a float instance via {!Rat.of_float_approx} (exact for integral
+    and simple-fraction inputs). *)
+
+val solve : instance -> Rat.t array
+(** Per-flow max-min rates.  Flows with no allowed interface get zero.
+    Raises [Invalid_argument] on shape errors and on more than 16 flows
+    (2^n subset enumeration). *)
+
+val solve_floats : Instance.t -> float array
+(** Convenience: convert, solve exactly, return floats. *)

@@ -1,0 +1,288 @@
+open Midrr_core
+module Engine = Midrr_sim.Engine
+module Link = Midrr_sim.Link
+module Timeseries = Midrr_stats.Timeseries
+module Rng = Midrr_stats.Rng
+
+type transfer = {
+  x_flow : Types.flow_id;
+  weight : float;
+  allowed : Types.iface_id list;
+  total : int option;
+  mutable requested : int; (* bytes covered by issued chunk requests *)
+  mutable received : int;
+  mutable queued_tokens : int; (* chunk tokens currently in the scheduler *)
+  mutable stopped : bool;
+  mutable done_at : float option;
+  ts : Timeseries.t;
+}
+
+type request = { r_flow : Types.flow_id; r_bytes : int; r_issued : float }
+
+type iface = {
+  i_id : Types.iface_id;
+  profile : Link.t;
+  pending : request Queue.t; (* issued requests whose data has not begun *)
+  mutable outstanding : int; (* issued, response not fully received *)
+  mutable receiving : bool;
+  mutable wake_pending : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  sched : Sched_intf.packed;
+  rng : Rng.t;
+  bin : float;
+  chunk_size : int;
+  pipeline_depth : int;
+  rtt : float;
+  rtt_jitter : float;
+  transfers : (Types.flow_id, transfer) Hashtbl.t;
+  ifaces : (Types.iface_id, iface) Hashtbl.t;
+  cells : (Types.flow_id * Types.iface_id, int) Hashtbl.t;
+}
+
+let create ?(seed = 1) ?(bin = 1.0) ?(chunk_size = 262144)
+    ?(pipeline_depth = 4) ?(rtt = 0.05) ?(rtt_jitter = 0.0) ~sched () =
+  if chunk_size <= 0 then invalid_arg "Proxy.create: chunk_size <= 0";
+  if pipeline_depth <= 0 then invalid_arg "Proxy.create: pipeline_depth <= 0";
+  if rtt < 0.0 then invalid_arg "Proxy.create: negative rtt";
+  if rtt_jitter < 0.0 then invalid_arg "Proxy.create: negative rtt_jitter";
+  {
+    engine = Engine.create ();
+    sched;
+    rng = Rng.create ~seed;
+    bin;
+    chunk_size;
+    pipeline_depth;
+    rtt;
+    rtt_jitter;
+    transfers = Hashtbl.create 16;
+    ifaces = Hashtbl.create 8;
+    cells = Hashtbl.create 32;
+  }
+
+let engine t = t.engine
+let now t = Engine.now t.engine
+
+let transfer t f =
+  match Hashtbl.find_opt t.transfers f with
+  | Some x -> x
+  | None -> invalid_arg "Proxy: unknown transfer"
+
+(* Keep a small window of chunk tokens queued in the scheduler so the flow
+   looks continuously backlogged while bytes remain. *)
+let rec refill_tokens t x =
+  if (not x.stopped) && x.queued_tokens < t.pipeline_depth then begin
+    let next_len =
+      match x.total with
+      | None -> Some t.chunk_size
+      | Some total ->
+          Chunk.next ~total_bytes:total ~chunk_size:t.chunk_size
+            ~sent:x.requested
+          |> Option.map (fun (r : Chunk.range) -> r.length)
+    in
+    match next_len with
+    | None -> ()
+    | Some len ->
+        let pkt = Packet.create ~flow:x.x_flow ~size:len ~arrival:(now t) in
+        if Sched_intf.Packed.enqueue t.sched pkt then begin
+          x.requested <- x.requested + len;
+          x.queued_tokens <- x.queued_tokens + 1;
+          kick t x;
+          refill_tokens t x
+        end
+  end
+
+(* Issue byte-range requests on an interface while it has free pipeline
+   slots, letting the packet scheduler pick the flow each slot serves. *)
+and issue_requests t ifc =
+  if ifc.outstanding < t.pipeline_depth then begin
+    match Sched_intf.Packed.next_packet t.sched ifc.i_id with
+    | None -> ()
+    | Some pkt ->
+        ifc.outstanding <- ifc.outstanding + 1;
+        Queue.push
+          { r_flow = pkt.flow; r_bytes = pkt.size; r_issued = now t }
+          ifc.pending;
+        (match Hashtbl.find_opt t.transfers pkt.flow with
+        | Some x ->
+            x.queued_tokens <- x.queued_tokens - 1;
+            refill_tokens t x
+        | None -> ());
+        start_receiving t ifc;
+        issue_requests t ifc
+  end
+
+(* Responses stream back one at a time per interface, in issue order. *)
+and start_receiving t ifc =
+  if (not ifc.receiving) && not (Queue.is_empty ifc.pending) then begin
+    let req = Queue.pop ifc.pending in
+    ifc.receiving <- true;
+    (* Lognormal multiplicative jitter: realistic heavy-ish RTT tail while
+       staying positive and deterministic per seed. *)
+    let rtt =
+      if t.rtt_jitter > 0.0 then
+        t.rtt *. Rng.lognormal t.rng ~mu:0.0 ~sigma:t.rtt_jitter
+      else t.rtt
+    in
+    let begin_data = Float.max (now t) (req.r_issued +. rtt) in
+    Engine.schedule t.engine ~at:begin_data (fun () -> stream t ifc req)
+  end
+
+and stream t ifc req =
+  let time = now t in
+  let rate = Link.rate_at ifc.profile time in
+  if rate <= 0.0 then begin
+    (* Link is down: resume when the profile recovers. *)
+    match Link.next_change ifc.profile time with
+    | Some at -> Engine.schedule t.engine ~at (fun () -> stream t ifc req)
+    | None -> () (* dead link, response never arrives *)
+  end
+  else begin
+    let dt = Types.tx_time ~bytes:req.r_bytes ~rate in
+    Engine.schedule_in t.engine ~after:dt (fun () ->
+        complete t ifc req)
+  end
+
+and complete t ifc req =
+  let time = now t in
+  ifc.receiving <- false;
+  ifc.outstanding <- ifc.outstanding - 1;
+  let key = (req.r_flow, ifc.i_id) in
+  let prev = Option.value (Hashtbl.find_opt t.cells key) ~default:0 in
+  Hashtbl.replace t.cells key (prev + req.r_bytes);
+  (match Hashtbl.find_opt t.transfers req.r_flow with
+  | Some x ->
+      x.received <- x.received + req.r_bytes;
+      Timeseries.record x.ts ~time ~bytes:req.r_bytes;
+      (match x.total with
+      | Some total when x.received >= total && x.done_at = None ->
+          x.done_at <- Some time
+      | _ -> ())
+  | None -> ());
+  start_receiving t ifc;
+  issue_requests t ifc
+
+and kick t x =
+  List.iter
+    (fun j ->
+      match Hashtbl.find_opt t.ifaces j with
+      | Some ifc -> issue_requests t ifc
+      | None -> ())
+    x.allowed
+
+let add_iface t j profile =
+  if Hashtbl.mem t.ifaces j then invalid_arg "Proxy.add_iface: duplicate";
+  let ifc =
+    {
+      i_id = j;
+      profile;
+      pending = Queue.create ();
+      outstanding = 0;
+      receiving = false;
+      wake_pending = false;
+    }
+  in
+  ignore ifc.wake_pending;
+  Hashtbl.replace t.ifaces j ifc;
+  Sched_intf.Packed.add_iface t.sched j;
+  issue_requests t ifc
+
+let add_transfer t ?(at = 0.0) ?total_bytes f ~weight ~allowed () =
+  if Hashtbl.mem t.transfers f then invalid_arg "Proxy.add_transfer: duplicate";
+  let x =
+    {
+      x_flow = f;
+      weight;
+      allowed;
+      total = total_bytes;
+      requested = 0;
+      received = 0;
+      queued_tokens = 0;
+      stopped = false;
+      done_at = None;
+      ts = Timeseries.create ~bin:t.bin;
+    }
+  in
+  Hashtbl.replace t.transfers f x;
+  let register () =
+    Sched_intf.Packed.add_flow t.sched ~flow:f ~weight ~allowed;
+    refill_tokens t x;
+    kick t x
+  in
+  if at <= now t then register () else Engine.schedule t.engine ~at register
+
+let stop_transfer t ?at f =
+  let x = transfer t f in
+  let act () =
+    x.stopped <- true;
+    if Sched_intf.Packed.has_flow t.sched f then
+      Sched_intf.Packed.remove_flow t.sched f
+  in
+  match at with
+  | None -> act ()
+  | Some time -> Engine.schedule t.engine ~at:time act
+
+let run t ~until = Engine.run ~until t.engine
+
+let goodput_series t f = Timeseries.rate_series ~unit_scale:1e6 (transfer t f).ts
+
+let avg_goodput t f ~t0 ~t1 =
+  Timeseries.rate_between ~unit_scale:1e6 (transfer t f).ts ~t0 ~t1
+
+let received_bytes t f = (transfer t f).received
+
+let completion_time t f = (transfer t f).done_at
+
+let served_cell t ~flow ~iface =
+  Option.value (Hashtbl.find_opt t.cells (flow, iface)) ~default:0
+
+type snapshot = {
+  snap_time : float;
+  snap_cells : (Types.flow_id * Types.iface_id, int) Hashtbl.t;
+}
+
+let snapshot t = { snap_time = now t; snap_cells = Hashtbl.copy t.cells }
+
+let share_since t snap ~flows ~ifaces =
+  let dt = now t -. snap.snap_time in
+  if not (dt > 0.0) then invalid_arg "Proxy.share_since: empty window";
+  Array.of_list
+    (List.map
+       (fun f ->
+         Array.of_list
+           (List.map
+              (fun j ->
+                let cur =
+                  Option.value (Hashtbl.find_opt t.cells (f, j)) ~default:0
+                in
+                let base =
+                  Option.value
+                    (Hashtbl.find_opt snap.snap_cells (f, j))
+                    ~default:0
+                in
+                8.0 *. Float.of_int (cur - base) /. dt)
+              ifaces))
+       flows)
+
+let instance_of t ~flows ~ifaces =
+  let weights = Array.of_list (List.map (fun f -> (transfer t f).weight) flows) in
+  let capacities =
+    Array.of_list
+      (List.map
+         (fun j ->
+           match Hashtbl.find_opt t.ifaces j with
+           | Some ifc -> Link.rate_at ifc.profile (now t)
+           | None -> invalid_arg "Proxy.instance_of: unknown interface")
+         ifaces)
+  in
+  let allowed =
+    Array.of_list
+      (List.map
+         (fun f ->
+           let x = transfer t f in
+           Array.of_list (List.map (fun j -> List.mem j x.allowed) ifaces))
+         flows)
+  in
+  Midrr_flownet.Instance.make ~weights ~capacities ~allowed

@@ -1,0 +1,44 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create () = { queue = Event_queue.create (); clock = 0.0; executed = 0 }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then invalid_arg "Engine.schedule: time in the past";
+  Event_queue.push t.queue ~time:at f
+
+let schedule_in t ~after f =
+  if after < 0.0 then invalid_arg "Engine.schedule_in: negative delay";
+  schedule t ~at:(t.clock +. after) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.executed <- t.executed + 1;
+      f ();
+      true
+
+let run ?until t =
+  let continue () =
+    match (until, Event_queue.peek_time t.queue) with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some next -> next <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when limit > t.clock -> t.clock <- limit
+  | _ -> ()
+
+let pending t = Event_queue.length t.queue
+
+let executed t = t.executed

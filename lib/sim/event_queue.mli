@@ -1,0 +1,23 @@
+(** Priority queue of timestamped items (binary heap).
+
+    Items with equal timestamps dequeue in insertion order, which keeps
+    simulations deterministic when several events coincide. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on a NaN timestamp. *)
+
+val peek_time : 'a t -> float option
+(** Earliest timestamp without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest item. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,391 @@
+open Midrr_core
+module Rng = Midrr_stats.Rng
+module Timeseries = Midrr_stats.Timeseries
+
+type source =
+  | Backlogged of { pkt_size : int }
+  | Finite of { total_bytes : int; pkt_size : int }
+  | Cbr of { rate : float; pkt_size : int; stop : float option }
+  | Poisson of { rate : float; pkt_size : int; stop : float option }
+  | On_off of {
+      rate : float;
+      pkt_size : int;
+      on_mean : float;
+      off_mean : float;
+      stop : float option;
+    }
+
+type flow_info = {
+  f_id : Types.flow_id;
+  mutable weight : float;
+  mutable allowed : Types.iface_id list;
+  source : source;
+  rng : Rng.t;
+  mutable remaining : int; (* bytes not yet enqueued; -1 = unbounded *)
+  mutable inflight : int; (* packets handed to interfaces, not yet done *)
+  mutable stopped : bool;
+  mutable done_at : float option;
+  ts : Timeseries.t;
+}
+
+type iface_info = {
+  i_id : Types.iface_id;
+  profile : Link.t;
+  mutable busy : bool;
+  mutable wake_pending : bool;
+  i_ts : Timeseries.t; (* bytes carried, for utilization measurement *)
+}
+
+type t = {
+  engine : Engine.t;
+  sched : Sched_intf.packed;
+  master_rng : Rng.t;
+  bin : float;
+  window_depth : int;
+  flows : (Types.flow_id, flow_info) Hashtbl.t;
+  ifaces : (Types.iface_id, iface_info) Hashtbl.t;
+  cells : (Types.flow_id * Types.iface_id, int) Hashtbl.t;
+  mutable hooks : (time:float -> iface:Types.iface_id -> Packet.t -> unit) list;
+}
+
+let create ?(seed = 1) ?(bin = 1.0) ?(window_depth = 32) ~sched () =
+  if not (bin > 0.0) then invalid_arg "Netsim.create: bin <= 0";
+  if window_depth <= 0 then invalid_arg "Netsim.create: window_depth <= 0";
+  {
+    engine = Engine.create ();
+    sched;
+    master_rng = Rng.create ~seed;
+    bin;
+    window_depth;
+    flows = Hashtbl.create 32;
+    ifaces = Hashtbl.create 8;
+    cells = Hashtbl.create 64;
+    hooks = [];
+  }
+
+let engine t = t.engine
+let now t = Engine.now t.engine
+
+let flow_info t f =
+  match Hashtbl.find_opt t.flows f with
+  | Some fi -> fi
+  | None -> invalid_arg "Netsim: unknown flow"
+
+(* --- queue replenishment ---------------------------------------------- *)
+
+let pkt_size_of = function
+  | Backlogged { pkt_size }
+  | Finite { pkt_size; _ }
+  | Cbr { pkt_size; _ }
+  | Poisson { pkt_size; _ }
+  | On_off { pkt_size; _ } ->
+      pkt_size
+
+(* Keep a window of packets queued for pull-style sources so the flow stays
+   continuously backlogged without materializing the whole transfer. *)
+let rec replenish t fi =
+  if not fi.stopped then
+    match fi.source with
+    | Backlogged { pkt_size } ->
+        if Sched_intf.Packed.backlog_packets t.sched fi.f_id < t.window_depth
+        then begin
+          let p =
+            Packet.create ~flow:fi.f_id ~size:pkt_size ~arrival:(now t)
+          in
+          if Sched_intf.Packed.enqueue t.sched p then begin
+            kick_allowed t fi;
+            replenish t fi
+          end
+        end
+    | Finite { pkt_size; _ } ->
+        if
+          fi.remaining > 0
+          && Sched_intf.Packed.backlog_packets t.sched fi.f_id < t.window_depth
+        then begin
+          let size = Stdlib.min pkt_size fi.remaining in
+          let p = Packet.create ~flow:fi.f_id ~size ~arrival:(now t) in
+          if Sched_intf.Packed.enqueue t.sched p then begin
+            fi.remaining <- fi.remaining - size;
+            kick_allowed t fi;
+            replenish t fi
+          end
+        end
+    | Cbr _ | Poisson _ | On_off _ -> ()
+
+(* --- transmission loop -------------------------------------------------- *)
+
+and try_start t ifc =
+  if not ifc.busy then begin
+    let time = now t in
+    let rate = Link.rate_at ifc.profile time in
+    if rate <= 0.0 then begin
+      (* Line is down: sleep until the profile brings it back. *)
+      if not ifc.wake_pending then
+        match Link.next_change ifc.profile time with
+        | None -> ()
+        | Some at ->
+            ifc.wake_pending <- true;
+            Engine.schedule t.engine ~at (fun () ->
+                ifc.wake_pending <- false;
+                try_start t ifc)
+    end
+    else
+      match Sched_intf.Packed.next_packet t.sched ifc.i_id with
+      | None -> ()
+      | Some pkt ->
+          ifc.busy <- true;
+          (match Hashtbl.find_opt t.flows pkt.flow with
+          | Some fi ->
+              fi.inflight <- fi.inflight + 1;
+              replenish t fi
+          | None -> ());
+          let dt = Types.tx_time ~bytes:pkt.size ~rate in
+          Engine.schedule_in t.engine ~after:dt (fun () ->
+              ifc.busy <- false;
+              complete t ifc pkt;
+              try_start t ifc)
+  end
+
+and complete t ifc (pkt : Packet.t) =
+  let time = now t in
+  let key = (pkt.flow, ifc.i_id) in
+  let prev = Option.value (Hashtbl.find_opt t.cells key) ~default:0 in
+  Hashtbl.replace t.cells key (prev + pkt.size);
+  Timeseries.record ifc.i_ts ~time ~bytes:pkt.size;
+  List.iter (fun hook -> hook ~time ~iface:ifc.i_id pkt) t.hooks;
+  match Hashtbl.find_opt t.flows pkt.flow with
+  | None -> ()
+  | Some fi ->
+      Timeseries.record fi.ts ~time ~bytes:pkt.size;
+      fi.inflight <- fi.inflight - 1;
+      replenish t fi;
+      (match fi.source with
+      | Finite _
+        when fi.remaining = 0 && fi.inflight = 0
+             && not (Sched_intf.Packed.is_backlogged t.sched fi.f_id) ->
+          if fi.done_at = None then fi.done_at <- Some time
+      | _ -> ())
+
+and kick_allowed t fi =
+  List.iter
+    (fun j ->
+      match Hashtbl.find_opt t.ifaces j with
+      | Some ifc -> try_start t ifc
+      | None -> ())
+    fi.allowed
+
+(* --- pushed sources ------------------------------------------------------ *)
+
+let inject t fi size =
+  if not fi.stopped then begin
+    let p = Packet.create ~flow:fi.f_id ~size ~arrival:(now t) in
+    ignore (Sched_intf.Packed.enqueue t.sched p);
+    kick_allowed t fi
+  end
+
+let rec cbr_tick t fi ~rate ~pkt_size ~stop =
+  let beyond = match stop with Some s -> now t >= s | None -> false in
+  if (not fi.stopped) && not beyond then begin
+    inject t fi pkt_size;
+    let gap = Types.tx_time ~bytes:pkt_size ~rate in
+    Engine.schedule_in t.engine ~after:gap (fun () ->
+        cbr_tick t fi ~rate ~pkt_size ~stop)
+  end
+
+let rec poisson_tick t fi ~rate ~pkt_size ~stop =
+  let beyond = match stop with Some s -> now t >= s | None -> false in
+  if (not fi.stopped) && not beyond then begin
+    inject t fi pkt_size;
+    let mean_gap = Types.tx_time ~bytes:pkt_size ~rate in
+    let gap = Rng.exponential fi.rng ~mean:mean_gap in
+    Engine.schedule_in t.engine ~after:gap (fun () ->
+        poisson_tick t fi ~rate ~pkt_size ~stop)
+  end
+
+let rec on_off_on t fi ~rate ~pkt_size ~on_mean ~off_mean ~stop =
+  let beyond = match stop with Some s -> now t >= s | None -> false in
+  if (not fi.stopped) && not beyond then begin
+    let burst = Rng.exponential fi.rng ~mean:on_mean in
+    let until = now t +. burst in
+    let rec send () =
+      if (not fi.stopped) && now t < until then begin
+        inject t fi pkt_size;
+        Engine.schedule_in t.engine
+          ~after:(Types.tx_time ~bytes:pkt_size ~rate)
+          send
+      end
+      else begin
+        let quiet = Rng.exponential fi.rng ~mean:off_mean in
+        Engine.schedule_in t.engine ~after:quiet (fun () ->
+            on_off_on t fi ~rate ~pkt_size ~on_mean ~off_mean ~stop)
+      end
+    in
+    send ()
+  end
+
+(* --- topology management ------------------------------------------------ *)
+
+let add_iface t j profile =
+  if Hashtbl.mem t.ifaces j then invalid_arg "Netsim.add_iface: duplicate";
+  let ifc =
+    {
+      i_id = j;
+      profile;
+      busy = false;
+      wake_pending = false;
+      i_ts = Timeseries.create ~bin:t.bin;
+    }
+  in
+  Hashtbl.replace t.ifaces j ifc;
+  Sched_intf.Packed.add_iface t.sched j;
+  (* If the run has started, wake the new interface immediately. *)
+  try_start t ifc
+
+let start_source t fi =
+  replenish t fi;
+  kick_allowed t fi;
+  match fi.source with
+  | Backlogged _ | Finite _ -> ()
+  | Cbr { rate; pkt_size; stop } -> cbr_tick t fi ~rate ~pkt_size ~stop
+  | Poisson { rate; pkt_size; stop } -> poisson_tick t fi ~rate ~pkt_size ~stop
+  | On_off { rate; pkt_size; on_mean; off_mean; stop } ->
+      on_off_on t fi ~rate ~pkt_size ~on_mean ~off_mean ~stop
+
+let add_flow t ?(at = 0.0) f ~weight ~allowed source =
+  if Hashtbl.mem t.flows f then invalid_arg "Netsim.add_flow: duplicate";
+  let fi =
+    {
+      f_id = f;
+      weight;
+      allowed;
+      source;
+      rng = Rng.split t.master_rng;
+      remaining =
+        (match source with Finite { total_bytes; _ } -> total_bytes | _ -> -1);
+      inflight = 0;
+      stopped = false;
+      done_at = None;
+      ts = Timeseries.create ~bin:t.bin;
+    }
+  in
+  Hashtbl.replace t.flows f fi;
+  ignore (pkt_size_of source);
+  let register () =
+    Sched_intf.Packed.add_flow t.sched ~flow:f ~weight ~allowed;
+    start_source t fi
+  in
+  if at <= now t then register () else Engine.schedule t.engine ~at register
+
+let remove_flow t ?at f =
+  let fi = flow_info t f in
+  let act () =
+    fi.stopped <- true;
+    if Sched_intf.Packed.has_flow t.sched f then
+      Sched_intf.Packed.remove_flow t.sched f
+  in
+  match at with
+  | None -> act ()
+  | Some time -> Engine.schedule t.engine ~at:time act
+
+let at t time f = Engine.schedule t.engine ~at:time f
+
+let set_weight t f w =
+  let fi = flow_info t f in
+  Sched_intf.Packed.set_weight t.sched f w;
+  fi.weight <- w
+
+let set_allowed t f allowed =
+  let fi = flow_info t f in
+  Sched_intf.Packed.set_allowed t.sched f allowed;
+  fi.allowed <- allowed;
+  (* Newly allowed idle interfaces must be woken to notice the flow. *)
+  kick_allowed t fi
+
+let on_complete t hook = t.hooks <- hook :: t.hooks
+
+let run t ~until = Engine.run ~until t.engine
+
+(* --- measurement --------------------------------------------------------- *)
+
+let rate_series t f = Timeseries.rate_series ~unit_scale:1e6 (flow_info t f).ts
+
+let avg_rate t f ~t0 ~t1 =
+  Timeseries.rate_between ~unit_scale:1e6 (flow_info t f).ts ~t0 ~t1
+
+let completion_time t f = (flow_info t f).done_at
+
+let iface_info t j =
+  match Hashtbl.find_opt t.ifaces j with
+  | Some i -> i
+  | None -> invalid_arg "Netsim: unknown interface"
+
+let iface_rate_series t j =
+  Timeseries.rate_series ~unit_scale:1e6 (iface_info t j).i_ts
+
+let iface_utilization t j ~t0 ~t1 =
+  let ifc = iface_info t j in
+  let carried = Timeseries.rate_between ifc.i_ts ~t0 ~t1 in
+  let offered = Link.average ifc.profile ~t0 ~t1 in
+  if offered <= 0.0 then 0.0 else carried /. offered
+
+let served_cell t ~flow ~iface =
+  Option.value (Hashtbl.find_opt t.cells (flow, iface)) ~default:0
+
+type snapshot = { snap_time : float; snap_cells : (Types.flow_id * Types.iface_id, int) Hashtbl.t }
+
+let snapshot t =
+  { snap_time = now t; snap_cells = Hashtbl.copy t.cells }
+
+let share_since t snap ~flows ~ifaces =
+  let dt = now t -. snap.snap_time in
+  if not (dt > 0.0) then invalid_arg "Netsim.share_since: empty window";
+  let matrix =
+    List.map
+      (fun f ->
+        List.map
+          (fun j ->
+            let cur =
+              Option.value (Hashtbl.find_opt t.cells (f, j)) ~default:0
+            in
+            let base =
+              Option.value (Hashtbl.find_opt snap.snap_cells (f, j)) ~default:0
+            in
+            8.0 *. Float.of_int (cur - base) /. dt)
+          ifaces)
+      flows
+  in
+  Array.of_list (List.map Array.of_list matrix)
+
+let instance_of t ~flows ~ifaces =
+  let weights =
+    Array.of_list (List.map (fun f -> (flow_info t f).weight) flows)
+  in
+  let capacities =
+    Array.of_list
+      (List.map
+         (fun j ->
+           match Hashtbl.find_opt t.ifaces j with
+           | Some ifc -> Link.rate_at ifc.profile (now t)
+           | None -> invalid_arg "Netsim.instance_of: unknown interface")
+         ifaces)
+  in
+  let allowed =
+    Array.of_list
+      (List.map
+         (fun f ->
+           let fi = flow_info t f in
+           Array.of_list (List.map (fun j -> List.mem j fi.allowed) ifaces))
+         flows)
+  in
+  Midrr_flownet.Instance.make ~weights ~capacities ~allowed
+
+let backlogged_flows t =
+  Hashtbl.fold
+    (fun f _ acc ->
+      if
+        Sched_intf.Packed.has_flow t.sched f
+        && Sched_intf.Packed.is_backlogged t.sched f
+      then f :: acc
+      else acc)
+    t.flows []
+  |> List.sort compare

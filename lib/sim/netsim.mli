@@ -1,0 +1,128 @@
+(** Network simulation: schedulers driving simulated interfaces.
+
+    Wires a {!Midrr_core.Sched_intf.packed} scheduler to a set of simulated
+    interfaces with {!Link} capacity profiles and per-flow traffic sources,
+    runs the discrete-event loop, and measures per-flow rates and
+    per-(flow, interface) service — everything needed to regenerate the
+    paper's simulation figures.
+
+    Model: when an interface is free it asks the scheduler for the next
+    packet and transmits it for [size * 8 / rate] seconds at the line rate
+    in effect when transmission starts.  Sources keep flow queues stocked
+    ([Backlogged], [Finite]) or inject packets on their own clock ([Cbr],
+    [Poisson], [On_off]). *)
+
+open Midrr_core
+
+type source =
+  | Backlogged of { pkt_size : int }
+      (** never runs dry: the queue is topped up as it drains *)
+  | Finite of { total_bytes : int; pkt_size : int }
+      (** a transfer of [total_bytes]; completion time is recorded *)
+  | Cbr of { rate : float; pkt_size : int; stop : float option }
+      (** constant bit rate arrivals from the flow's start until [stop] *)
+  | Poisson of { rate : float; pkt_size : int; stop : float option }
+      (** Poisson arrivals with mean load [rate] bits/s *)
+  | On_off of {
+      rate : float;  (** rate while on, bits/s *)
+      pkt_size : int;
+      on_mean : float;  (** mean on-period, seconds (exponential) *)
+      off_mean : float;
+      stop : float option;
+    }
+
+type t
+
+val create :
+  ?seed:int ->
+  ?bin:float ->
+  ?window_depth:int ->
+  sched:Sched_intf.packed ->
+  unit ->
+  t
+(** [bin] is the width of rate-measurement bins in seconds (default 1.0);
+    [window_depth] the number of packets kept queued for backlogged/finite
+    sources (default 32); [seed] drives stochastic sources (default 1). *)
+
+val engine : t -> Engine.t
+
+val now : t -> float
+
+val add_iface : t -> Types.iface_id -> Link.t -> unit
+(** Attach an interface with its capacity profile.  May be called mid-run
+    inside an {!at} hook ("a new interface comes online"). *)
+
+val add_flow :
+  t ->
+  ?at:float ->
+  Types.flow_id ->
+  weight:float ->
+  allowed:Types.iface_id list ->
+  source ->
+  unit
+(** Register a flow and start its source at time [at] (default 0). *)
+
+val remove_flow : t -> ?at:float -> Types.flow_id -> unit
+(** Stop the source and deregister the flow at time [at] (default: now). *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** Schedule an arbitrary scenario action (e.g. changing weights through
+    the scheduler handle). *)
+
+val set_weight : t -> Types.flow_id -> float -> unit
+(** Change a flow's rate preference in the scheduler and the simulator's
+    bookkeeping.  Call from an {!at} hook for timed changes. *)
+
+val set_allowed : t -> Types.flow_id -> Types.iface_id list -> unit
+(** Change a flow's interface preference, waking newly allowed
+    interfaces. *)
+
+val on_complete :
+  t -> (time:float -> iface:Types.iface_id -> Packet.t -> unit) -> unit
+(** Add a hook called at every packet transmission completion. *)
+
+val run : t -> until:float -> unit
+(** Advance the simulation to the given time. *)
+
+(** {1 Measurement} *)
+
+val rate_series : t -> Types.flow_id -> (float * float) array
+(** Per-bin throughput of the flow in Mb/s, from completion events. *)
+
+val avg_rate : t -> Types.flow_id -> t0:float -> t1:float -> float
+(** Mean throughput over a window, Mb/s. *)
+
+val completion_time : t -> Types.flow_id -> float option
+(** When a [Finite] transfer delivered its last byte. *)
+
+val iface_rate_series : t -> Types.iface_id -> (float * float) array
+(** Per-bin bytes carried by the interface, as Mb/s. *)
+
+val iface_utilization : t -> Types.iface_id -> t0:float -> t1:float -> float
+(** Fraction of the interface's offered capacity actually carried over the
+    window (1.0 = fully utilized); 0 when the link offered nothing. *)
+
+val served_cell : t -> flow:Types.flow_id -> iface:Types.iface_id -> int
+(** Cumulative bytes of the flow carried by the interface. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture cumulative per-(flow, interface) counters. *)
+
+val share_since :
+  t -> snapshot -> flows:Types.flow_id list -> ifaces:Types.iface_id list ->
+  float array array
+(** [share_since t snap ~flows ~ifaces] is the measured rate matrix
+    [r_ij] in bits/s between the snapshot and now (ordered by the given
+    lists).  Requires time to have advanced since the snapshot. *)
+
+val instance_of :
+  t -> flows:Types.flow_id list -> ifaces:Types.iface_id list ->
+  Midrr_flownet.Instance.t
+(** Freeze the given flows (with their registered weights and preferences)
+    and the interfaces at their {e current} line rates into a solver
+    instance, for comparing measured against reference allocations. *)
+
+val backlogged_flows : t -> Types.flow_id list
+(** Flows with a non-empty queue right now, ascending. *)

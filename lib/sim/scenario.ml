@@ -1,0 +1,389 @@
+open Midrr_core
+module Maxmin = Midrr_flownet.Maxmin
+
+type source_spec =
+  | S_backlogged of int
+  | S_finite of int * int
+  | S_cbr of float * int
+  | S_poisson of float * int
+
+type sched_spec = Sched_midrr of int option | Sched_drr | Sched_wfq | Sched_rr
+
+type event =
+  | E_weight of string * float
+  | E_allow of string * int
+  | E_deny of string * int
+  | E_stop of string
+
+type flow_spec = {
+  fs_name : string;
+  fs_weight : float;
+  fs_ifaces : int list;
+  fs_source : source_spec;
+}
+
+type t = {
+  sched : sched_spec;
+  ifaces : (int * Link.t) list;
+  flow_specs : flow_spec list;
+  events : (float * event) list;
+  measure_windows : (float * float) list;
+  horizon : float;
+}
+
+type window_report = {
+  t0 : float;
+  t1 : float;
+  rates : (string * float) list;
+  reference : (string * float) list;
+}
+
+type report = {
+  windows : window_report list;
+  completions : (string * float) list;
+}
+
+(* --- value parsing ------------------------------------------------------- *)
+
+let parse_suffixed ~suffixes s =
+  let rec try_suffixes = function
+    | [] -> Option.map (fun v -> v) (float_of_string_opt s)
+    | (suffix, scale) :: rest ->
+        if
+          String.length s > String.length suffix
+          && String.(
+               equal
+                 (sub s (length s - length suffix) (length suffix))
+                 suffix)
+        then
+          let body = String.sub s 0 (String.length s - String.length suffix) in
+          Option.map (fun v -> v *. scale) (float_of_string_opt body)
+        else try_suffixes rest
+  in
+  try_suffixes suffixes
+
+let parse_rate s =
+  parse_suffixed ~suffixes:[ ("kb", 1e3); ("Mb", 1e6); ("Gb", 1e9) ] s
+
+let parse_bytes s =
+  Option.map int_of_float
+    (parse_suffixed ~suffixes:[ ("kB", 1e3); ("MB", 1e6); ("GB", 1e9) ] s)
+
+let field key tokens =
+  List.find_map
+    (fun tok ->
+      let prefix = key ^ "=" in
+      if String.length tok > String.length prefix
+         && String.sub tok 0 (String.length prefix) = prefix
+      then Some (String.sub tok (String.length prefix)
+                   (String.length tok - String.length prefix))
+      else None)
+    tokens
+
+(* --- line parsing ---------------------------------------------------------- *)
+
+type directive =
+  | D_sched of sched_spec
+  | D_iface of int * Link.t
+  | D_flow of flow_spec
+  | D_at of float * event
+  | D_measure of float * float
+  | D_run of float
+
+let err lineno fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+
+let parse_iface lineno tokens =
+  match tokens with
+  | [ id; "constant"; rate ] -> (
+      match (int_of_string_opt id, parse_rate rate) with
+      | Some id, Some r -> Ok (D_iface (id, Link.constant r))
+      | _ -> err lineno "bad iface constant")
+  | id :: "steps" :: initial :: changes -> (
+      match (int_of_string_opt id, parse_rate initial) with
+      | Some id, Some r0 -> (
+          let parsed =
+            List.map
+              (fun c ->
+                match String.split_on_char ':' c with
+                | [ at; rate ] -> (
+                    match (float_of_string_opt at, parse_rate rate) with
+                    | Some a, Some r -> Some (a, r)
+                    | _ -> None)
+                | _ -> None)
+              changes
+          in
+          if List.exists Option.is_none parsed then err lineno "bad step"
+          else
+            try Ok (D_iface (id, Link.steps ~initial:r0 (List.filter_map Fun.id parsed)))
+            with Invalid_argument m -> err lineno "%s" m)
+      | _ -> err lineno "bad iface steps")
+  | _ -> err lineno "bad iface directive"
+
+let parse_source lineno tokens =
+  let pkt () =
+    match Option.bind (field "pkt" tokens) int_of_string_opt with
+    | Some n when n > 0 -> Ok n
+    | _ -> err lineno "missing or bad pkt="
+  in
+  if List.mem "backlogged" tokens then
+    Result.map (fun p -> S_backlogged p) (pkt ())
+  else if List.mem "finite" tokens then
+    match Option.bind (field "bytes" tokens) parse_bytes with
+    | Some b when b > 0 -> Result.map (fun p -> S_finite (b, p)) (pkt ())
+    | _ -> err lineno "missing or bad bytes="
+  else if List.mem "cbr" tokens then
+    match Option.bind (field "rate" tokens) parse_rate with
+    | Some r when r > 0.0 -> Result.map (fun p -> S_cbr (r, p)) (pkt ())
+    | _ -> err lineno "missing or bad rate="
+  else if List.mem "poisson" tokens then
+    match Option.bind (field "rate" tokens) parse_rate with
+    | Some r when r > 0.0 -> Result.map (fun p -> S_poisson (r, p)) (pkt ())
+    | _ -> err lineno "missing or bad rate="
+  else err lineno "unknown source (want backlogged|finite|cbr|poisson)"
+
+let parse_flow lineno tokens =
+  match tokens with
+  | name :: rest -> (
+      let weight =
+        match field "weight" rest with
+        | None -> Some 1.0
+        | Some w -> float_of_string_opt w
+      in
+      let ifaces =
+        Option.map
+          (fun s ->
+            List.filter_map int_of_string_opt (String.split_on_char ',' s))
+          (field "ifaces" rest)
+      in
+      match (weight, ifaces) with
+      | Some w, Some ifaces when w > 0.0 && ifaces <> [] ->
+          Result.map
+            (fun source ->
+              D_flow { fs_name = name; fs_weight = w; fs_ifaces = ifaces; fs_source = source })
+            (parse_source lineno rest)
+      | _ -> err lineno "flow needs weight>0 and ifaces=I[,J...]")
+  | [] -> err lineno "flow needs a name"
+
+let parse_at lineno tokens =
+  match tokens with
+  | time :: rest -> (
+      match (float_of_string_opt time, rest) with
+      | Some at, [ "weight"; name; w ] -> (
+          match float_of_string_opt w with
+          | Some w when w > 0.0 -> Ok (D_at (at, E_weight (name, w)))
+          | _ -> err lineno "bad weight value")
+      | Some at, [ "allow"; name; iface ] -> (
+          match int_of_string_opt iface with
+          | Some j -> Ok (D_at (at, E_allow (name, j)))
+          | None -> err lineno "bad interface id")
+      | Some at, [ "deny"; name; iface ] -> (
+          match int_of_string_opt iface with
+          | Some j -> Ok (D_at (at, E_deny (name, j)))
+          | None -> err lineno "bad interface id")
+      | Some at, [ "stop"; name ] -> Ok (D_at (at, E_stop name))
+      | _ -> err lineno "bad at directive")
+  | [] -> err lineno "at needs a time"
+
+let parse_line lineno line =
+  let stripped = String.trim line in
+  if stripped = "" || stripped.[0] = '#' then Ok None
+  else
+    let tokens =
+      String.split_on_char ' ' stripped |> List.filter (fun t -> t <> "")
+    in
+    let result =
+      match tokens with
+      | "scheduler" :: rest -> (
+          match rest with
+          | "midrr" :: opts ->
+              let counter =
+                Option.bind (field "counter" opts) int_of_string_opt
+              in
+              Ok (D_sched (Sched_midrr counter))
+          | [ "drr" ] -> Ok (D_sched Sched_drr)
+          | [ "wfq" ] -> Ok (D_sched Sched_wfq)
+          | [ "rr" ] -> Ok (D_sched Sched_rr)
+          | _ -> err lineno "unknown scheduler")
+      | "iface" :: rest -> parse_iface lineno rest
+      | "flow" :: rest -> parse_flow lineno rest
+      | "at" :: rest -> parse_at lineno rest
+      | [ "measure"; t0; t1 ] -> (
+          match (float_of_string_opt t0, float_of_string_opt t1) with
+          | Some a, Some b when b > a -> Ok (D_measure (a, b))
+          | _ -> err lineno "bad measure window")
+      | [ "run"; horizon ] -> (
+          match float_of_string_opt horizon with
+          | Some h when h > 0.0 -> Ok (D_run h)
+          | _ -> err lineno "bad run horizon")
+      | d :: _ -> err lineno "unknown directive %S" d
+      | [] -> err lineno "empty directive"
+    in
+    Result.map (fun d -> Some d) result
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some d) -> go (lineno + 1) (d :: acc) rest
+        | Error e -> Error e)
+  in
+  match go 1 [] lines with
+  | Error e -> Error e
+  | Ok directives ->
+      let sched = ref (Sched_midrr None) in
+      let ifaces = ref [] and flow_specs = ref [] in
+      let events = ref [] and measure_windows = ref [] in
+      let horizon = ref None in
+      List.iter
+        (fun d ->
+          match d with
+          | D_sched s -> sched := s
+          | D_iface (id, profile) -> ifaces := (id, profile) :: !ifaces
+          | D_flow f -> flow_specs := f :: !flow_specs
+          | D_at (at, e) -> events := (at, e) :: !events
+          | D_measure (a, b) -> measure_windows := (a, b) :: !measure_windows
+          | D_run h -> horizon := Some h)
+        directives;
+      match !horizon with
+      | None -> Error "missing 'run T' directive"
+      | Some horizon ->
+          if !ifaces = [] then Error "no interfaces declared"
+          else if !flow_specs = [] then Error "no flows declared"
+          else
+            Ok
+              {
+                sched = !sched;
+                ifaces = List.rev !ifaces;
+                flow_specs = List.rev !flow_specs;
+                events = List.rev !events;
+                measure_windows = List.rev !measure_windows;
+                horizon;
+              }
+
+(* --- execution --------------------------------------------------------------- *)
+
+let make_sched spec =
+  match spec with
+  | Sched_midrr counter -> Midrr.packed (Midrr.create ?counter_max:counter ())
+  | Sched_drr -> Drr.packed (Drr.create ())
+  | Sched_wfq -> Wfq.packed (Wfq.create ())
+  | Sched_rr -> Rrobin.packed (Rrobin.create ())
+
+let run t =
+  let sched = make_sched t.sched in
+  let sim = Netsim.create ~bin:0.5 ~sched () in
+  List.iter (fun (j, profile) -> Netsim.add_iface sim j profile) t.ifaces;
+  let ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i fs ->
+      Hashtbl.replace ids fs.fs_name i;
+      let source =
+        match fs.fs_source with
+        | S_backlogged pkt -> Netsim.Backlogged { pkt_size = pkt }
+        | S_finite (bytes, pkt) ->
+            Netsim.Finite { total_bytes = bytes; pkt_size = pkt }
+        | S_cbr (rate, pkt) -> Netsim.Cbr { rate; pkt_size = pkt; stop = None }
+        | S_poisson (rate, pkt) ->
+            Netsim.Poisson { rate; pkt_size = pkt; stop = None }
+      in
+      Netsim.add_flow sim i ~weight:fs.fs_weight ~allowed:fs.fs_ifaces source)
+    t.flow_specs;
+  let flow_id name =
+    match Hashtbl.find_opt ids name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Scenario.run: unknown flow %S" name)
+  in
+  List.iter
+    (fun (at, event) ->
+      Netsim.at sim at (fun () ->
+          match event with
+          | E_weight (name, w) -> Netsim.set_weight sim (flow_id name) w
+          | E_allow (name, j) ->
+              let f = flow_id name in
+              let current = Sched_intf.Packed.allowed_ifaces sched f in
+              if not (List.mem j current) then
+                Netsim.set_allowed sim f (List.sort compare (j :: current))
+          | E_deny (name, j) ->
+              let f = flow_id name in
+              let current = Sched_intf.Packed.allowed_ifaces sched f in
+              Netsim.set_allowed sim f (List.filter (fun k -> k <> j) current)
+          | E_stop name -> Netsim.remove_flow sim (flow_id name)))
+    t.events;
+  let names = List.map (fun fs -> fs.fs_name) t.flow_specs in
+  (* Capture the reference allocation at each window's end, when the flow
+     population and preferences reflect that window. *)
+  let captured = List.map (fun _ -> ref []) t.measure_windows in
+  List.iteri
+    (fun k (_, t1) ->
+      let slot = List.nth captured k in
+      Netsim.at sim t1 (fun () ->
+          let alive =
+            List.filter
+              (fun name ->
+                Sched_intf.Packed.has_flow sched (flow_id name)
+                && Sched_intf.Packed.is_backlogged sched (flow_id name))
+              names
+          in
+          match alive with
+          | [] -> ()
+          | _ ->
+              let flows = List.map flow_id alive in
+              let inst =
+                Netsim.instance_of sim ~flows ~ifaces:(List.map fst t.ifaces)
+              in
+              let alloc = Maxmin.solve inst in
+              slot :=
+                List.mapi
+                  (fun k name -> (name, Types.to_mbps alloc.rates.(k)))
+                  alive))
+    t.measure_windows;
+  Netsim.run sim ~until:t.horizon;
+  let windows =
+    List.map2
+      (fun (t0, t1) slot ->
+        let rates =
+          List.map
+            (fun name -> (name, Netsim.avg_rate sim (flow_id name) ~t0 ~t1))
+            names
+        in
+        { t0; t1; rates; reference = !slot })
+      t.measure_windows captured
+  in
+  let completions =
+    List.filter_map
+      (fun fs ->
+        match fs.fs_source with
+        | S_finite _ ->
+            Option.map
+              (fun at -> (fs.fs_name, at))
+              (Netsim.completion_time sim (flow_id fs.fs_name))
+        | _ -> None)
+      t.flow_specs
+  in
+  { windows; completions }
+
+let run_text text = Result.map run (parse text)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "window %.1f-%.1fs:@," w.t0 w.t1;
+      List.iter
+        (fun (name, rate) ->
+          let reference =
+            match List.assoc_opt name w.reference with
+            | Some r -> Printf.sprintf " (reference %.3f)" r
+            | None -> ""
+          in
+          Format.fprintf ppf "  %-12s %8.3f Mb/s%s@," name rate reference)
+        w.rates)
+    r.windows;
+  List.iter
+    (fun (name, at) ->
+      Format.fprintf ppf "%s completed at %.2fs@," name at)
+    r.completions;
+  Format.fprintf ppf "@]"

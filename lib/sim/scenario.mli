@@ -1,0 +1,64 @@
+(** Declarative simulation scenarios.
+
+    A small text language for describing an experiment — interfaces with
+    capacity profiles, flows with preferences and sources, runtime events
+    and measurement windows — so that topologies can be explored from the
+    command line (`midrr run FILE`) without writing OCaml.  One directive
+    per line; [#] starts a comment.
+
+    {v
+    # Fig. 6 as a scenario file
+    scheduler midrr counter=4
+    iface 1 constant 3Mb
+    iface 2 steps 10Mb 40:5Mb
+    flow a weight=1 ifaces=1 backlogged pkt=1500
+    flow b weight=2 ifaces=1,2 finite bytes=75.6MB pkt=1500
+    flow c weight=1 ifaces=2 cbr rate=2Mb pkt=1200
+    at 50 weight c 3
+    at 60 allow c 1
+    measure 10 40
+    run 100
+    v}
+
+    Directives:
+    - [scheduler midrr|drr|wfq|rr] with optional [counter=K] (midrr only);
+    - [iface ID constant RATE] or [iface ID steps RATE T:RATE ...];
+    - [flow NAME weight=W ifaces=I,J SOURCE], where SOURCE is
+      [backlogged pkt=N] | [finite bytes=B pkt=N] | [cbr rate=R pkt=N] |
+      [poisson rate=R pkt=N];
+    - [at T weight NAME W], [at T allow NAME IFACE],
+      [at T deny NAME IFACE], [at T stop NAME];
+    - [measure T0 T1] (repeatable): report rates over the window, plus the
+      water-filling reference for flows alive throughout it;
+    - [run T]: the horizon (required, last).
+
+    Rates accept [kb]/[Mb]/[Gb] suffixes (bits/s); byte sizes accept
+    [kB]/[MB]/[GB]. *)
+
+type t
+(** A parsed scenario. *)
+
+type window_report = {
+  t0 : float;
+  t1 : float;
+  rates : (string * float) list;  (** measured Mb/s per flow name *)
+  reference : (string * float) list;
+      (** water-filling Mb/s for flows alive throughout the window *)
+}
+
+type report = {
+  windows : window_report list;
+  completions : (string * float) list;
+      (** finite flows and their completion times *)
+}
+
+val parse : string -> (t, string) result
+(** Parse scenario text; the error names the offending line. *)
+
+val run : t -> report
+(** Build the simulation and execute it. *)
+
+val run_text : string -> (report, string) result
+(** [parse] then [run]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,84 @@
+type event = {
+  time : float;
+  iface : Midrr_core.Types.iface_id;
+  flow : Midrr_core.Types.flow_id;
+  bytes : int;
+}
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int; (* write position *)
+  mutable total : int; (* events ever recorded *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity <= 0";
+  { capacity; buffer = Array.make capacity None; next = 0; total = 0 }
+
+let record t event =
+  t.buffer.(t.next) <- Some event;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let attach t sim =
+  Netsim.on_complete sim (fun ~time ~iface pkt ->
+      record t { time; iface; flow = pkt.Midrr_core.Packet.flow; bytes = pkt.size })
+
+let length t = Stdlib.min t.total t.capacity
+
+let dropped t = Stdlib.max 0 (t.total - t.capacity)
+
+let events t =
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      Option.get t.buffer.((start + i) mod t.capacity))
+
+let between t ~t0 ~t1 =
+  List.filter (fun e -> e.time >= t0 && e.time < t1) (events t)
+
+let tally key_of t =
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = key_of e in
+      Hashtbl.replace acc k
+        (e.bytes + Option.value (Hashtbl.find_opt acc k) ~default:0))
+    (events t);
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let bytes_per_flow t = tally (fun e -> e.flow) t
+
+let bytes_per_iface t = tally (fun e -> e.iface) t
+
+let interleaving t ~iface =
+  let on_iface = List.filter (fun e -> e.iface = iface) (events t) in
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | prev :: _ when prev = e.flow -> acc
+      | _ -> e.flow :: acc)
+    [] on_iface
+  |> List.rev
+
+let to_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "time,iface,flow,bytes\n";
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "%.9f,%d,%d,%d\n" e.time e.iface e.flow e.bytes)
+        (events t))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d events (%d dropped)@," (length t) (dropped t);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%.6f iface=%d flow=%d %dB@," e.time e.iface e.flow
+        e.bytes)
+    (events t);
+  Format.fprintf ppf "@]"

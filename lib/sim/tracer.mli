@@ -1,0 +1,50 @@
+(** Bounded event tracing for simulations.
+
+    Attach a tracer to a {!Netsim} run to capture per-packet delivery
+    events (time, interface, flow, bytes) in a bounded ring buffer — the
+    moral equivalent of `tcpdump` on the simulated device.  Useful for
+    debugging scheduling decisions and for exporting raw event logs. *)
+
+type event = {
+  time : float;
+  iface : Midrr_core.Types.iface_id;
+  flow : Midrr_core.Types.flow_id;
+  bytes : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keep at most [capacity] most-recent events (default 65536). *)
+
+val attach : t -> Netsim.t -> unit
+(** Register the tracer on a simulation's completion hook. *)
+
+val record : t -> event -> unit
+(** Manual recording, for non-Netsim datapaths. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events discarded because the buffer wrapped. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val between : t -> t0:float -> t1:float -> event list
+(** Retained events with [t0 <= time < t1], oldest first. *)
+
+val bytes_per_flow : t -> (Midrr_core.Types.flow_id * int) list
+(** Total retained bytes per flow, ascending flow id. *)
+
+val bytes_per_iface : t -> (Midrr_core.Types.iface_id * int) list
+
+val interleaving : t -> iface:Midrr_core.Types.iface_id -> Midrr_core.Types.flow_id list
+(** The sequence of flows the interface served (consecutive duplicates
+    collapsed) — handy for asserting round-robin structure in tests. *)
+
+val to_csv : t -> path:string -> unit
+(** Write the retained events as [time,iface,flow,bytes] rows. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type t = { alpha : float; mutable value : float; mutable initialized : bool }
+
+let create ~alpha =
+  if not (alpha > 0.0 && alpha <= 1.0) then invalid_arg "Ewma.create: alpha";
+  { alpha; value = Float.nan; initialized = false }
+
+let update t x =
+  if t.initialized then t.value <- t.value +. (t.alpha *. (x -. t.value))
+  else begin
+    t.value <- x;
+    t.initialized <- true
+  end;
+  t.value
+
+let value t = t.value
+let is_initialized t = t.initialized
+
+type rate = {
+  tau : float;
+  mutable estimate : float;
+  mutable last : float;
+  mutable started : bool;
+}
+
+let rate_create ~tau =
+  if not (tau > 0.0) then invalid_arg "Ewma.rate_create: tau";
+  { tau; estimate = 0.0; last = 0.0; started = false }
+
+let decay r ~now =
+  if r.started && now > r.last then begin
+    let dt = now -. r.last in
+    r.estimate <- r.estimate *. exp (-.dt /. r.tau);
+    r.last <- now
+  end
+
+let rate_update r ~now ~amount =
+  if not r.started then begin
+    r.started <- true;
+    r.last <- now
+  end;
+  if now < r.last then invalid_arg "Ewma.rate_update: time went backwards";
+  decay r ~now;
+  (* An impulse of [amount] spread over the time constant contributes
+     amount/tau to the instantaneous rate. *)
+  r.estimate <- r.estimate +. (amount /. r.tau);
+  r.estimate
+
+let rate_value r ~now =
+  if not r.started then 0.0
+  else begin
+    decay r ~now;
+    r.estimate
+  end

@@ -1,0 +1,31 @@
+(** Exponentially weighted moving averages and rate estimators. *)
+
+type t
+(** Classic EWMA of a sampled value. *)
+
+val create : alpha:float -> t
+(** [create ~alpha] with smoothing factor [0 < alpha <= 1].  Larger alpha
+    reacts faster. *)
+
+val update : t -> float -> float
+(** Fold in one observation and return the new average. *)
+
+val value : t -> float
+(** Current average; [nan] before the first observation. *)
+
+val is_initialized : t -> bool
+
+type rate
+(** Time-decayed rate estimator: given (timestamp, amount) increments it
+    estimates the current rate amount/second with exponential decay, the way
+    a kernel scheduler would track per-flow throughput. *)
+
+val rate_create : tau:float -> rate
+(** [tau] is the decay time constant in seconds ([tau > 0]). *)
+
+val rate_update : rate -> now:float -> amount:float -> float
+(** Record [amount] delivered at time [now] and return the rate estimate.
+    Timestamps must be non-decreasing. *)
+
+val rate_value : rate -> now:float -> float
+(** Current estimate decayed to [now] with no new traffic. *)

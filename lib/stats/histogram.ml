@@ -1,0 +1,71 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. Float.of_int bins;
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+  }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = Stdlib.min i (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let add_many t xs = Array.iter (add t) xs
+
+let count t = t.total
+
+let bins t = Array.length t.counts
+
+let bin_count t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bin_count: index out of range";
+  t.counts.(i)
+
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_edges t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bin_edges: index out of range";
+  let lo = t.lo +. (Float.of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let to_density t =
+  let n = Float.of_int (Stdlib.max 1 t.total) in
+  Array.mapi
+    (fun i c ->
+      let lo, hi = bin_edges t i in
+      ((lo +. hi) /. 2.0, Float.of_int c /. n))
+    t.counts
+
+let pp ppf t =
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_edges t i in
+      let bar = String.make (c * 40 / peak) '#' in
+      Format.fprintf ppf "[%10.4g, %10.4g) %6d %s@." lo hi c bar)
+    t.counts;
+  if t.underflow > 0 then Format.fprintf ppf "underflow %d@." t.underflow;
+  if t.overflow > 0 then Format.fprintf ppf "overflow %d@." t.overflow

@@ -1,0 +1,34 @@
+(** Fixed-bin histograms over floats. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [lo, hi) with [bins] equal-width bins plus
+    underflow and overflow counters.  Requires [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val add_many : t -> float array -> unit
+
+val count : t -> int
+(** Total observations recorded, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** Observations in bin [i] (0-based).  Raises [Invalid_argument] when out
+    of range. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_edges : t -> int -> float * float
+(** [bin_edges t i] is the half-open interval covered by bin [i]. *)
+
+val bins : t -> int
+
+val to_density : t -> (float * float) array
+(** [(bin-midpoint, fraction-of-total)] for each bin, ignoring
+    under/overflow. *)
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering with proportional bars. *)

@@ -1,0 +1,56 @@
+(** Descriptive statistics over float samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); [nan] when n < 2. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min : float array -> float
+(** Smallest sample; [nan] on the empty array. *)
+
+val max : float array -> float
+(** Largest sample; [nan] on the empty array. *)
+
+val total : float array -> float
+(** Kahan-compensated sum. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] with [0 <= p <= 100], linear interpolation between
+    closest ranks ("type 7", the numpy/R default).  [nan] on the empty
+    array. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)]: 1 for perfectly equal
+    positive allocations, down to 1/n in the most unequal case.  [nan] on
+    the empty array or when all samples are zero. *)
+
+val weighted_jain_index : rates:float array -> weights:float array -> float
+(** Jain's index applied to normalized rates [rates.(i) /. weights.(i)],
+    i.e. fairness with respect to a weighted objective. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+(** One-shot summary of a sample. *)
+
+val describe : float array -> t
+(** Compute all fields of {!t} in one pass over a sorted copy. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering of a summary. *)

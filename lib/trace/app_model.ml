@@ -1,0 +1,87 @@
+type kind = Web | Video | Audio | Messaging | Sync
+
+type profile = {
+  kind : kind;
+  popularity : float;
+  burst_lo : int;
+  burst_hi : int;
+  burst_gap_mean : float;
+  flow_mu : float;
+  flow_sigma : float;
+  long_flow_p : float;
+  long_flow_mean : float;
+}
+
+let web =
+  {
+    kind = Web;
+    popularity = 0.45;
+    burst_lo = 3;
+    burst_hi = 10;
+    burst_gap_mean = 12.0;
+    flow_mu = 1.5 (* ~4.5 s *);
+    flow_sigma = 0.85;
+    long_flow_p = 0.10;
+    long_flow_mean = 90.0;
+  }
+
+let video =
+  {
+    kind = Video;
+    popularity = 0.12;
+    burst_lo = 1;
+    burst_hi = 3;
+    burst_gap_mean = 45.0;
+    flow_mu = 2.2;
+    flow_sigma = 0.8;
+    long_flow_p = 0.9;
+    long_flow_mean = 240.0;
+  }
+
+let audio =
+  {
+    kind = Audio;
+    popularity = 0.10;
+    burst_lo = 1;
+    burst_hi = 2;
+    burst_gap_mean = 60.0;
+    flow_mu = 1.5;
+    flow_sigma = 0.7;
+    long_flow_p = 0.8;
+    long_flow_mean = 600.0;
+  }
+
+let messaging =
+  {
+    kind = Messaging;
+    popularity = 0.25;
+    burst_lo = 1;
+    burst_hi = 6;
+    burst_gap_mean = 10.0;
+    flow_mu = 0.9;
+    flow_sigma = 0.9;
+    long_flow_p = 0.20;
+    long_flow_mean = 150.0;
+  }
+
+let sync =
+  {
+    kind = Sync;
+    popularity = 0.08;
+    burst_lo = 1;
+    burst_hi = 3;
+    burst_gap_mean = 30.0;
+    flow_mu = 1.3;
+    flow_sigma = 0.6;
+    long_flow_p = 0.02;
+    long_flow_mean = 90.0;
+  }
+
+let default_mix = [ web; video; audio; messaging; sync ]
+
+let name = function
+  | Web -> "web"
+  | Video -> "video"
+  | Audio -> "audio"
+  | Messaging -> "messaging"
+  | Sync -> "sync"

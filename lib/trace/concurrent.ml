@@ -1,0 +1,74 @@
+(* Sweep line over interval endpoints: +1 at start, -1 at stop. *)
+let events intervals =
+  let evs =
+    List.concat_map
+      (fun (iv : Gen.interval) -> [ (iv.start, 1); (iv.stop, -1) ])
+      intervals
+  in
+  (* At equal times process closures before openings so that a flow ending
+     exactly when another starts does not double-count. *)
+  List.sort
+    (fun (ta, da) (tb, db) ->
+      match Float.compare ta tb with 0 -> compare da db | c -> c)
+    evs
+
+let occupancy ?horizon intervals =
+  match intervals with
+  | [] -> ( match horizon with Some h when h > 0.0 -> [ (0, h) ] | _ -> [])
+  | _ ->
+      let evs = events intervals in
+      let acc = Hashtbl.create 64 in
+      let add k dt =
+        if dt > 0.0 then
+          Hashtbl.replace acc k
+            (dt +. Option.value (Hashtbl.find_opt acc k) ~default:0.0)
+      in
+      let last_t, count =
+        List.fold_left
+          (fun (last_t, count) (t, delta) ->
+            add count (t -. last_t);
+            (t, count + delta))
+          (0.0, 0) evs
+      in
+      assert (count = 0);
+      (match horizon with
+      | Some h when h > last_t -> add 0 (h -. last_t)
+      | _ -> ());
+      Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let active_cdf intervals =
+  let weighted =
+    occupancy intervals
+    |> List.filter (fun (k, _) -> k >= 1)
+    |> List.map (fun (k, dt) -> (Float.of_int k, dt))
+  in
+  Midrr_stats.Cdf.of_weighted weighted
+
+let max_concurrent intervals =
+  occupancy intervals |> List.fold_left (fun acc (k, _) -> Stdlib.max acc k) 0
+
+let fraction_at_least intervals k =
+  let active = occupancy intervals |> List.filter (fun (c, _) -> c >= 1) in
+  let total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 active in
+  if total <= 0.0 then 0.0
+  else
+    let above =
+      List.fold_left
+        (fun acc (c, dt) -> if c >= k then acc +. dt else acc)
+        0.0 active
+    in
+    above /. total
+
+let active_fraction ?horizon intervals =
+  match intervals with
+  | [] -> 0.0
+  | _ ->
+      let occ = occupancy ?horizon intervals in
+      let span = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 occ in
+      let active =
+        List.fold_left
+          (fun acc (k, dt) -> if k >= 1 then acc +. dt else acc)
+          0.0 occ
+      in
+      if span <= 0.0 then 0.0 else active /. span

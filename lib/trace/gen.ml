@@ -1,0 +1,110 @@
+module Rng = Midrr_stats.Rng
+
+type params = {
+  horizon : float;
+  sessions_per_waking_hour : float;
+  session_duration_mean : float;
+  waking_start : float;
+  waking_stop : float;
+  night_factor : float;
+  background_period : float;
+  mix : App_model.profile list;
+}
+
+let default_params =
+  {
+    horizon = 7.0 *. 86400.0;
+    sessions_per_waking_hour = 4.0;
+    session_duration_mean = 150.0;
+    waking_start = 7.0;
+    waking_stop = 23.0;
+    night_factor = 0.05;
+    background_period = 300.0;
+    mix = App_model.default_mix;
+  }
+
+type interval = { start : float; stop : float }
+
+let hour_of_day t = Float.rem (t /. 3600.0) 24.0
+
+let is_waking params t =
+  let h = hour_of_day t in
+  h >= params.waking_start && h < params.waking_stop
+
+let pick_profile rng mix =
+  let total = List.fold_left (fun acc p -> acc +. p.App_model.popularity) 0.0 mix in
+  let target = Rng.float rng *. total in
+  let rec go acc = function
+    | [] -> List.hd mix
+    | p :: rest ->
+        let acc = acc +. p.App_model.popularity in
+        if target <= acc then p else go acc rest
+  in
+  go 0.0 mix
+
+let clip params iv =
+  { start = Float.max 0.0 iv.start; stop = Float.min params.horizon iv.stop }
+
+(* Emit the flows of one session: bursts of parallel short flows, each burst
+   possibly opening one long-lived flow, until the session ends. *)
+let session_flows rng params ~start ~duration acc =
+  let profile = pick_profile rng params.mix in
+  let stop = start +. duration in
+  let flows = ref acc in
+  let t = ref start in
+  while !t < stop do
+    let n_parallel =
+      Rng.int_range rng ~lo:profile.App_model.burst_lo
+        ~hi:profile.App_model.burst_hi
+    in
+    for _ = 1 to n_parallel do
+      let offset = Rng.uniform rng ~lo:0.0 ~hi:1.5 in
+      let len =
+        Rng.lognormal rng ~mu:profile.App_model.flow_mu
+          ~sigma:profile.App_model.flow_sigma
+      in
+      flows :=
+        clip params { start = !t +. offset; stop = !t +. offset +. len }
+        :: !flows
+    done;
+    if Rng.bernoulli rng ~p:profile.App_model.long_flow_p then begin
+      let len = Rng.exponential rng ~mean:profile.App_model.long_flow_mean in
+      flows := clip params { start = !t; stop = !t +. len } :: !flows
+    end;
+    t := !t +. Rng.exponential rng ~mean:profile.App_model.burst_gap_mean
+  done;
+  !flows
+
+let generate ?(seed = 11) params =
+  if not (params.horizon > 0.0) then invalid_arg "Gen.generate: horizon <= 0";
+  if params.mix = [] then invalid_arg "Gen.generate: empty app mix";
+  let rng = Rng.create ~seed in
+  let flows = ref [] in
+  (* User sessions: thinning a piecewise-constant diurnal intensity. *)
+  let peak_rate = params.sessions_per_waking_hour /. 3600.0 in
+  let t = ref 0.0 in
+  while !t < params.horizon do
+    t := !t +. Rng.exponential rng ~mean:(1.0 /. peak_rate);
+    if !t < params.horizon then begin
+      let keep = if is_waking params !t then 1.0 else params.night_factor in
+      if Rng.bernoulli rng ~p:keep then begin
+        let duration =
+          Rng.exponential rng ~mean:params.session_duration_mean
+        in
+        flows := session_flows rng params ~start:!t ~duration !flows
+      end
+    end
+  done;
+  (* Background polls around the clock: short, mostly lonely flows. *)
+  let t = ref 0.0 in
+  while !t < params.horizon do
+    t := !t +. Rng.exponential rng ~mean:params.background_period;
+    if !t < params.horizon then begin
+      let len = Rng.uniform rng ~lo:2.0 ~hi:15.0 in
+      flows := clip params { start = !t; stop = !t +. len } :: !flows
+    end
+  done;
+  List.filter (fun iv -> iv.stop > iv.start) !flows
+  |> List.sort (fun a b -> Float.compare a.start b.start)
+
+let total_flows = List.length

@@ -1,0 +1,29 @@
+(** Synthetic smartphone flow-trace generation.
+
+    Produces one week (by default) of flow intervals: user sessions arrive
+    with a diurnal intensity, each session runs one app profile emitting
+    bursts of parallel flows, and background sync fires around the clock.
+    The output is the list of [(start, stop)] intervals that
+    {!Concurrent} turns into the Fig. 7 CDF. *)
+
+type params = {
+  horizon : float;  (** trace length, seconds *)
+  sessions_per_waking_hour : float;
+  session_duration_mean : float;  (** seconds, exponential *)
+  waking_start : float;  (** hour of day when usage ramps up, e.g. 7.0 *)
+  waking_stop : float;  (** hour of day when usage stops, e.g. 23.0 *)
+  night_factor : float;  (** session-rate multiplier outside waking hours *)
+  background_period : float;  (** mean seconds between background polls *)
+  mix : App_model.profile list;
+}
+
+val default_params : params
+(** One week, calibrated against the paper's reported statistics. *)
+
+type interval = { start : float; stop : float }
+
+val generate : ?seed:int -> params -> interval list
+(** Deterministic for a given seed.  Intervals are clipped to
+    [0, horizon] and returned sorted by start time. *)
+
+val total_flows : interval list -> int

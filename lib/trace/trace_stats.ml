@@ -1,0 +1,47 @@
+module Summary = Midrr_stats.Summary
+module Cdf = Midrr_stats.Cdf
+
+let duration_array trace =
+  Array.of_list (List.map (fun (iv : Gen.interval) -> iv.stop -. iv.start) trace)
+
+let durations trace = Summary.describe (duration_array trace)
+
+let duration_cdf trace = Cdf.of_samples (duration_array trace)
+
+let hourly_starts trace =
+  let bins = Array.make 24 0 in
+  List.iter
+    (fun (iv : Gen.interval) ->
+      let hour = int_of_float (Float.rem (iv.start /. 3600.0) 24.0) in
+      let hour = Stdlib.min 23 (Stdlib.max 0 hour) in
+      bins.(hour) <- bins.(hour) + 1)
+    trace;
+  bins
+
+let daily_counts ~horizon trace =
+  let days = Stdlib.max 1 (int_of_float (Float.ceil (horizon /. 86400.0))) in
+  let bins = Array.make days 0 in
+  List.iter
+    (fun (iv : Gen.interval) ->
+      let day = Stdlib.min (days - 1) (int_of_float (iv.start /. 86400.0)) in
+      bins.(day) <- bins.(day) + 1)
+    trace;
+  bins
+
+let peak_hour trace =
+  let bins = hourly_starts trace in
+  let best = ref 0 in
+  Array.iteri (fun h c -> if c > bins.(!best) then best := h) bins;
+  !best
+
+let pp_report ppf trace =
+  let d = durations trace in
+  Format.fprintf ppf "@[<v>flows: %d@," (List.length trace);
+  Format.fprintf ppf "duration: median %.1fs p90 %.1fs max %.1fs@," d.median
+    d.p90 d.max;
+  Format.fprintf ppf "peak hour of day: %02d:00@," (peak_hour trace);
+  Format.fprintf ppf "hourly starts:@,";
+  Array.iteri
+    (fun h c -> Format.fprintf ppf "  %02d:00 %6d@," h c)
+    (hourly_starts trace);
+  Format.fprintf ppf "@]"

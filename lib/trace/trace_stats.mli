@@ -1,0 +1,24 @@
+(** Descriptive statistics of generated traces.
+
+    Validates and characterizes {!Gen} output beyond the single Fig. 7
+    statistic: flow-duration distribution, diurnal activity shape, and
+    per-day volumes — the sanity checks one runs before trusting a
+    synthetic workload. *)
+
+val durations : Gen.interval list -> Midrr_stats.Summary.t
+(** Summary of flow durations in seconds. *)
+
+val duration_cdf : Gen.interval list -> Midrr_stats.Cdf.t
+(** Empirical CDF of flow durations.  Raises on an empty trace. *)
+
+val hourly_starts : Gen.interval list -> int array
+(** 24 bins: flows started in each hour of day (all days folded). *)
+
+val daily_counts : horizon:float -> Gen.interval list -> int array
+(** Flows started on each day of the trace. *)
+
+val peak_hour : Gen.interval list -> int
+(** Hour of day with the most flow starts. *)
+
+val pp_report : Format.formatter -> Gen.interval list -> unit
+(** Human-readable characterization. *)

@@ -1,0 +1,226 @@
+(* Tests for the HTTP byte-range proxy substrate. *)
+
+open Midrr_core
+module Chunk = Midrr_http.Chunk
+module Proxy = Midrr_http.Proxy
+module Link = Midrr_sim.Link
+
+let close ?(tol = 1e-9) what expected got =
+  if Float.abs (expected -. got) > tol then
+    Alcotest.failf "%s: expected %.6g, got %.6g" what expected got
+
+(* --- Chunk ---------------------------------------------------------------- *)
+
+let test_chunk_plan_exact () =
+  let ranges = Chunk.plan ~total_bytes:300 ~chunk_size:100 in
+  Alcotest.(check int) "three chunks" 3 (List.length ranges);
+  Alcotest.(check bool) "contiguous" true (Chunk.is_contiguous ranges)
+
+let test_chunk_plan_remainder () =
+  let ranges = Chunk.plan ~total_bytes:250 ~chunk_size:100 in
+  Alcotest.(check int) "three chunks" 3 (List.length ranges);
+  (match List.rev ranges with
+  | last :: _ ->
+      Alcotest.(check int) "last offset" 200 last.Chunk.offset;
+      Alcotest.(check int) "last short" 50 last.Chunk.length
+  | [] -> Alcotest.fail "no ranges");
+  Alcotest.(check bool) "contiguous" true (Chunk.is_contiguous ranges)
+
+let test_chunk_plan_empty () =
+  Alcotest.(check int) "zero bytes" 0
+    (List.length (Chunk.plan ~total_bytes:0 ~chunk_size:100))
+
+let test_chunk_next_streaming () =
+  let rec collect sent acc =
+    match Chunk.next ~total_bytes:250 ~chunk_size:100 ~sent with
+    | None -> List.rev acc
+    | Some r -> collect (sent + r.Chunk.length) (r :: acc)
+  in
+  let ranges = collect 0 [] in
+  Alcotest.(check bool) "same as plan" true
+    (ranges = Chunk.plan ~total_bytes:250 ~chunk_size:100)
+
+let test_chunk_is_contiguous_detects_gap () =
+  Alcotest.(check bool) "gap" false
+    (Chunk.is_contiguous
+       [ { Chunk.offset = 0; length = 100 }; { Chunk.offset = 150; length = 50 } ]);
+  Alcotest.(check bool) "overlap" false
+    (Chunk.is_contiguous
+       [ { Chunk.offset = 0; length = 100 }; { Chunk.offset = 50; length = 100 } ])
+
+(* --- Proxy ------------------------------------------------------------------ *)
+
+let make_proxy ?(chunk_size = 65536) ?(rtt = 0.02) () =
+  let sched = Midrr.packed (Midrr.create ~base_quantum:chunk_size ()) in
+  Proxy.create ~chunk_size ~rtt ~pipeline_depth:4 ~sched ()
+
+let test_proxy_single_transfer_throughput () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0 (Link.constant (Types.mbps 8.0));
+  Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.run proxy ~until:30.0;
+  (* Pipelining hides the RTT: goodput close to line rate. *)
+  let g = Proxy.avg_goodput proxy 0 ~t0:2.0 ~t1:30.0 in
+  if g < 7.5 || g > 8.05 then Alcotest.failf "goodput %.3f not near 8" g
+
+let test_proxy_finite_completion_and_bytes () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0 (Link.constant (Types.mbps 8.0));
+  let total = 1_000_000 in
+  Proxy.add_transfer proxy 0 ~total_bytes:total ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.run proxy ~until:30.0;
+  Alcotest.(check int) "all bytes received" total (Proxy.received_bytes proxy 0);
+  match Proxy.completion_time proxy 0 with
+  | Some t ->
+      (* 1 MB at 8 Mb/s = 1 s plus RTT overhead. *)
+      if t < 1.0 || t > 1.5 then Alcotest.failf "completion %.3f out of range" t
+  | None -> Alcotest.fail "never completed"
+
+let test_proxy_two_transfers_fair () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0 (Link.constant (Types.mbps 8.0));
+  Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.add_transfer proxy 1 ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.run proxy ~until:60.0;
+  let g0 = Proxy.avg_goodput proxy 0 ~t0:5.0 ~t1:60.0
+  and g1 = Proxy.avg_goodput proxy 1 ~t0:5.0 ~t1:60.0 in
+  close ~tol:0.6 "equal split g0" 4.0 g0;
+  close ~tol:0.6 "equal split g1" 4.0 g1
+
+let test_proxy_weighted_transfers () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0 (Link.constant (Types.mbps 9.0));
+  Proxy.add_transfer proxy 0 ~weight:2.0 ~allowed:[ 0 ] ();
+  Proxy.add_transfer proxy 1 ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.run proxy ~until:60.0;
+  let g0 = Proxy.avg_goodput proxy 0 ~t0:5.0 ~t1:60.0
+  and g1 = Proxy.avg_goodput proxy 1 ~t0:5.0 ~t1:60.0 in
+  close ~tol:0.25 "weighted ratio" 2.0 (g0 /. g1)
+
+let test_proxy_aggregates_interfaces () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0 (Link.constant (Types.mbps 5.0));
+  Proxy.add_iface proxy 1 (Link.constant (Types.mbps 3.0));
+  Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0; 1 ] ();
+  Proxy.run proxy ~until:30.0;
+  let g = Proxy.avg_goodput proxy 0 ~t0:2.0 ~t1:30.0 in
+  if g < 7.4 || g > 8.1 then
+    Alcotest.failf "aggregated goodput %.3f not near 8" g;
+  Alcotest.(check bool) "used iface 0" true
+    (Proxy.served_cell proxy ~flow:0 ~iface:0 > 0);
+  Alcotest.(check bool) "used iface 1" true
+    (Proxy.served_cell proxy ~flow:0 ~iface:1 > 0)
+
+let test_proxy_respects_preferences () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0 (Link.constant (Types.mbps 5.0));
+  Proxy.add_iface proxy 1 (Link.constant (Types.mbps 5.0));
+  Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.run proxy ~until:10.0;
+  Alcotest.(check int) "banned interface untouched" 0
+    (Proxy.served_cell proxy ~flow:0 ~iface:1)
+
+let test_proxy_stop_transfer () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0 (Link.constant (Types.mbps 8.0));
+  Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.stop_transfer proxy ~at:5.0 0;
+  Proxy.run proxy ~until:20.0;
+  let late = Proxy.avg_goodput proxy 0 ~t0:7.0 ~t1:20.0 in
+  close ~tol:0.5 "stopped" 0.0 late
+
+let test_proxy_link_outage_resumes () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0
+    (Link.steps ~initial:(Types.mbps 8.0)
+       [ (5.0, 0.0); (10.0, Types.mbps 8.0) ]);
+  Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.run proxy ~until:20.0;
+  close ~tol:1.0 "outage" 0.0 (Proxy.avg_goodput proxy 0 ~t0:6.0 ~t1:9.5);
+  let after = Proxy.avg_goodput proxy 0 ~t0:11.0 ~t1:20.0 in
+  if after < 7.0 then Alcotest.failf "did not resume: %.3f" after
+
+let test_proxy_share_matrix () =
+  let proxy = make_proxy () in
+  Proxy.add_iface proxy 0 (Link.constant (Types.mbps 4.0));
+  Proxy.add_iface proxy 1 (Link.constant (Types.mbps 4.0));
+  Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0 ] ();
+  Proxy.add_transfer proxy 1 ~weight:1.0 ~allowed:[ 1 ] ();
+  Proxy.run proxy ~until:5.0;
+  let snap = Proxy.snapshot proxy in
+  Proxy.run proxy ~until:25.0;
+  let share = Proxy.share_since proxy snap ~flows:[ 0; 1 ] ~ifaces:[ 0; 1 ] in
+  close ~tol:4e5 "f0 if0" 4e6 share.(0).(0);
+  close ~tol:1e-9 "f0 if1" 0.0 share.(0).(1);
+  close ~tol:4e5 "f1 if1" 4e6 share.(1).(1)
+
+let test_proxy_pipeline_depth_matters () =
+  (* With a large RTT and depth 1, the link idles between requests; deeper
+     pipelining recovers the capacity (the paper: "request pipelining ...
+     making sure that all the available capacity is utilized"). *)
+  let measure depth =
+    let sched = Midrr.packed (Midrr.create ~base_quantum:65536 ()) in
+    let proxy =
+      Proxy.create ~chunk_size:65536 ~rtt:0.2 ~pipeline_depth:depth ~sched ()
+    in
+    Proxy.add_iface proxy 0 (Link.constant (Types.mbps 8.0));
+    Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0 ] ();
+    Proxy.run proxy ~until:30.0;
+    Proxy.avg_goodput proxy 0 ~t0:2.0 ~t1:30.0
+  in
+  let shallow = measure 1 and deep = measure 6 in
+  if shallow > 4.0 then
+    Alcotest.failf "depth-1 goodput %.2f should be RTT-bound" shallow;
+  if deep < 7.0 then
+    Alcotest.failf "depth-6 goodput %.2f should hide the RTT" deep
+
+let test_proxy_rtt_jitter_deterministic () =
+  let measure seed =
+    let sched = Midrr.packed (Midrr.create ~base_quantum:65536 ()) in
+    let proxy =
+      Proxy.create ~seed ~chunk_size:65536 ~rtt:0.05 ~rtt_jitter:0.5 ~sched ()
+    in
+    Proxy.add_iface proxy 0 (Link.constant (Types.mbps 8.0));
+    Proxy.add_transfer proxy 0 ~weight:1.0 ~allowed:[ 0 ] ();
+    Proxy.run proxy ~until:20.0;
+    Proxy.received_bytes proxy 0
+  in
+  Alcotest.(check int) "same seed, same run" (measure 3) (measure 3);
+  Alcotest.(check bool) "jitter still delivers" true (measure 4 > 0)
+
+let () =
+  Alcotest.run "http"
+    [
+      ( "chunk",
+        [
+          Alcotest.test_case "plan exact" `Quick test_chunk_plan_exact;
+          Alcotest.test_case "plan remainder" `Quick test_chunk_plan_remainder;
+          Alcotest.test_case "plan empty" `Quick test_chunk_plan_empty;
+          Alcotest.test_case "next streaming" `Quick test_chunk_next_streaming;
+          Alcotest.test_case "contiguity check" `Quick
+            test_chunk_is_contiguous_detects_gap;
+        ] );
+      ( "proxy",
+        [
+          Alcotest.test_case "single transfer throughput" `Quick
+            test_proxy_single_transfer_throughput;
+          Alcotest.test_case "finite completion" `Quick
+            test_proxy_finite_completion_and_bytes;
+          Alcotest.test_case "two transfers fair" `Quick
+            test_proxy_two_transfers_fair;
+          Alcotest.test_case "weighted transfers" `Quick
+            test_proxy_weighted_transfers;
+          Alcotest.test_case "aggregates interfaces" `Quick
+            test_proxy_aggregates_interfaces;
+          Alcotest.test_case "respects preferences" `Quick
+            test_proxy_respects_preferences;
+          Alcotest.test_case "stop transfer" `Quick test_proxy_stop_transfer;
+          Alcotest.test_case "link outage resumes" `Quick
+            test_proxy_link_outage_resumes;
+          Alcotest.test_case "share matrix" `Quick test_proxy_share_matrix;
+          Alcotest.test_case "pipeline depth matters" `Quick
+            test_proxy_pipeline_depth_matters;
+          Alcotest.test_case "rtt jitter deterministic" `Quick
+            test_proxy_rtt_jitter_deterministic;
+        ] );
+    ]

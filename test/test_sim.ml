@@ -1,0 +1,593 @@
+(* Tests for the discrete-event simulator: event queue, engine, link
+   profiles and the network wiring. *)
+
+open Midrr_core
+module Event_queue = Midrr_sim.Event_queue
+module Engine = Midrr_sim.Engine
+module Link = Midrr_sim.Link
+module Netsim = Midrr_sim.Netsim
+
+let close ?(tol = 1e-9) what expected got =
+  if Float.abs (expected -. got) > tol then
+    Alcotest.failf "%s: expected %.6g, got %.6g" what expected got
+
+(* --- Event queue --------------------------------------------------------- *)
+
+let test_eq_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  let pop () = snd (Option.get (Event_queue.pop q)) in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:1.0 i
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list int)) "insertion order on ties"
+    (List.init 10 Fun.id) order
+
+let test_eq_interleaved () =
+  let q = Event_queue.create () in
+  let rng = Midrr_stats.Rng.create ~seed:31 in
+  (* Random pushes and pops: popped times never decrease. *)
+  let last = ref Float.neg_infinity in
+  for _ = 1 to 2000 do
+    if Midrr_stats.Rng.bool rng || Event_queue.is_empty q then
+      Event_queue.push q
+        ~time:(Float.max !last (Midrr_stats.Rng.float rng *. 100.0))
+        ()
+    else
+      match Event_queue.pop q with
+      | Some (t, ()) ->
+          if t < !last then Alcotest.failf "time went backwards: %f < %f" t !last;
+          last := t
+      | None -> ()
+  done
+
+let test_eq_nan_rejected () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.push: NaN time")
+    (fun () -> Event_queue.push q ~time:Float.nan ())
+
+let test_eq_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "empty" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:5.0 ();
+  Alcotest.(check (option (float 0.0)))
+    "peek" (Some 5.0) (Event_queue.peek_time q);
+  Alcotest.(check int) "length" 1 (Event_queue.length q)
+
+(* --- Engine ----------------------------------------------------------------- *)
+
+let test_engine_executes_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:2.0 (fun () -> log := "second" :: !log);
+  Engine.schedule e ~at:1.0 (fun () -> log := "first" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "first"; "second" ] (List.rev !log);
+  close "clock at last event" 2.0 (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~at:1.0 (fun () -> incr fired);
+  Engine.schedule e ~at:5.0 (fun () -> incr fired);
+  Engine.run ~until:3.0 e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  close "clock advanced to until" 3.0 (Engine.now e);
+  Engine.run ~until:10.0 e;
+  Alcotest.(check int) "second fired" 2 !fired
+
+let test_engine_events_schedule_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain () =
+    incr count;
+    if !count < 5 then Engine.schedule_in e ~after:1.0 chain
+  in
+  Engine.schedule e ~at:0.0 chain;
+  Engine.run e;
+  Alcotest.(check int) "chain" 5 !count;
+  close "final time" 4.0 (Engine.now e)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time in the past")
+    (fun () -> Engine.schedule e ~at:1.0 (fun () -> ()))
+
+(* --- Link profiles ------------------------------------------------------------ *)
+
+let test_link_constant () =
+  let l = Link.constant 5e6 in
+  close "rate" 5e6 (Link.rate_at l 0.0);
+  close "rate later" 5e6 (Link.rate_at l 100.0);
+  Alcotest.(check (option (float 0.0))) "no change" None (Link.next_change l 0.0)
+
+let test_link_steps () =
+  let l = Link.steps ~initial:1e6 [ (10.0, 2e6); (20.0, 0.0) ] in
+  close "initial" 1e6 (Link.rate_at l 5.0);
+  close "at boundary" 2e6 (Link.rate_at l 10.0);
+  close "after second" 0.0 (Link.rate_at l 25.0);
+  Alcotest.(check (option (float 0.0)))
+    "next change from 0" (Some 10.0) (Link.next_change l 0.0);
+  Alcotest.(check (option (float 0.0)))
+    "next change from 10" (Some 20.0) (Link.next_change l 10.0);
+  Alcotest.(check (option (float 0.0)))
+    "no more changes" None (Link.next_change l 20.0)
+
+let test_link_steps_validation () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Link.steps: non-increasing times") (fun () ->
+      ignore (Link.steps ~initial:1.0 [ (5.0, 1.0); (5.0, 2.0) ]))
+
+let test_link_average () =
+  let l = Link.steps ~initial:2e6 [ (10.0, 4e6) ] in
+  close "before change" 2e6 (Link.average l ~t0:0.0 ~t1:10.0);
+  close "after change" 4e6 (Link.average l ~t0:10.0 ~t1:20.0);
+  close "straddling" 3e6 (Link.average l ~t0:5.0 ~t1:15.0);
+  close "constant" 7e6 (Link.average (Link.constant 7e6) ~t0:3.0 ~t1:9.0)
+
+let test_iface_utilization () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 4.0));
+  Netsim.add_iface sim 1 (Link.constant (Types.mbps 4.0));
+  (* Interface 0 saturated; interface 1 at quarter load. *)
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.add_flow sim 1 ~weight:1.0 ~allowed:[ 1 ]
+    (Netsim.Cbr { rate = Types.mbps 1.0; pkt_size = 1000; stop = None });
+  Netsim.run sim ~until:20.0;
+  let u0 = Netsim.iface_utilization sim 0 ~t0:2.0 ~t1:20.0 in
+  let u1 = Netsim.iface_utilization sim 1 ~t0:2.0 ~t1:20.0 in
+  if u0 < 0.97 || u0 > 1.01 then Alcotest.failf "iface 0 util %.3f" u0;
+  if Float.abs (u1 -. 0.25) > 0.03 then Alcotest.failf "iface 1 util %.3f" u1
+
+let test_link_periodic () =
+  let l = Link.periodic ~period:10.0 [ (0.0, 1e6); (5.0, 2e6) ] in
+  close "phase 0" 1e6 (Link.rate_at l 2.0);
+  close "phase 1" 2e6 (Link.rate_at l 7.0);
+  close "wraps" 1e6 (Link.rate_at l 12.0);
+  Alcotest.(check (option (float 1e-9)))
+    "next change within cycle" (Some 5.0) (Link.next_change l 2.0);
+  Alcotest.(check (option (float 1e-9)))
+    "next change wraps" (Some 10.0) (Link.next_change l 7.0)
+
+(* --- Mobility -------------------------------------------------------------------- *)
+
+module Mobility = Midrr_sim.Mobility
+
+let test_mobility_gauss_markov_stats () =
+  let profile =
+    Mobility.gauss_markov ~seed:3 ~mean:5e6 ~sigma:1e6 ~memory:0.9 ~step:1.0
+      ~horizon:2000.0 ()
+  in
+  let mean = Mobility.mean_rate profile ~horizon:2000.0 ~samples:2000 in
+  if Float.abs (mean -. 5e6) > 0.5e6 then
+    Alcotest.failf "mean %.3g drifted from 5e6" mean;
+  (* Rates never go negative. *)
+  for i = 0 to 199 do
+    if Link.rate_at profile (Float.of_int i *. 10.0) < 0.0 then
+      Alcotest.fail "negative rate"
+  done
+
+let test_mobility_gauss_markov_deterministic () =
+  let a =
+    Mobility.gauss_markov ~seed:5 ~mean:1e6 ~sigma:2e5 ~memory:0.8 ~step:0.5
+      ~horizon:100.0 ()
+  in
+  let b =
+    Mobility.gauss_markov ~seed:5 ~mean:1e6 ~sigma:2e5 ~memory:0.8 ~step:0.5
+      ~horizon:100.0 ()
+  in
+  for i = 0 to 99 do
+    let t = Float.of_int i in
+    close
+      (Printf.sprintf "t=%d" i)
+      (Link.rate_at a t) (Link.rate_at b t)
+  done
+
+let test_mobility_coverage_duty () =
+  let profile =
+    Mobility.coverage ~seed:9 ~rate_in:1e7 ~on_mean:10.0 ~off_mean:10.0
+      ~horizon:5000.0 ()
+  in
+  let mean = Mobility.mean_rate profile ~horizon:5000.0 ~samples:5000 in
+  (* 50% duty cycle -> mean about half of the in-coverage rate. *)
+  if mean < 3.5e6 || mean > 6.5e6 then
+    Alcotest.failf "duty-cycled mean %.3g not near 5e6" mean
+
+let test_mobility_drives_netsim () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  let profile =
+    Mobility.coverage ~seed:2 ~rate_in:(Types.mbps 8.0) ~on_mean:5.0
+      ~off_mean:5.0 ~horizon:60.0 ()
+  in
+  Netsim.add_iface sim 0 profile;
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.run sim ~until:60.0;
+  let avg = Netsim.avg_rate sim 0 ~t0:0.0 ~t1:60.0 in
+  (* Throughput lands between zero and the in-coverage rate, roughly at the
+     duty cycle. *)
+  if avg < 1.0 || avg > 7.9 then
+    Alcotest.failf "coverage-driven rate %.3f implausible" avg
+
+(* --- Netsim ---------------------------------------------------------------------- *)
+
+let test_netsim_cbr_rate () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 10.0));
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Cbr { rate = Types.mbps 2.0; pkt_size = 1000; stop = None });
+  Netsim.run sim ~until:20.0;
+  close ~tol:0.05 "cbr delivered" 2.0 (Netsim.avg_rate sim 0 ~t0:2.0 ~t1:19.0)
+
+let test_netsim_poisson_rate () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~seed:5 ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 10.0));
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Poisson { rate = Types.mbps 3.0; pkt_size = 1000; stop = None });
+  Netsim.run sim ~until:60.0;
+  close ~tol:0.25 "poisson mean load" 3.0 (Netsim.avg_rate sim 0 ~t0:5.0 ~t1:60.0)
+
+let test_netsim_finite_completion () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 8.0));
+  (* 1 MB at 8 Mb/s = 1 second. *)
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Finite { total_bytes = 1_000_000; pkt_size = 1000 });
+  Netsim.run sim ~until:5.0;
+  match Netsim.completion_time sim 0 with
+  | Some t -> close ~tol:0.01 "completion" 1.0 t
+  | None -> Alcotest.fail "transfer never completed"
+
+let test_netsim_on_off_duty_cycle () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~seed:9 ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 50.0));
+  (* 10 Mb/s while on, 50% duty cycle -> ~5 Mb/s average. *)
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.On_off
+       {
+         rate = Types.mbps 10.0;
+         pkt_size = 1000;
+         on_mean = 1.0;
+         off_mean = 1.0;
+         stop = None;
+       });
+  Netsim.run sim ~until:120.0;
+  let avg = Netsim.avg_rate sim 0 ~t0:5.0 ~t1:120.0 in
+  if avg < 3.0 || avg > 7.0 then
+    Alcotest.failf "duty-cycled rate out of range: %.3f" avg
+
+let test_netsim_link_down_recovers () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 0
+    (Link.steps ~initial:(Types.mbps 4.0)
+       [ (10.0, 0.0); (20.0, Types.mbps 4.0) ]);
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.run sim ~until:30.0;
+  close ~tol:0.1 "before outage" 4.0 (Netsim.avg_rate sim 0 ~t0:2.0 ~t1:9.0);
+  close ~tol:0.1 "during outage" 0.0 (Netsim.avg_rate sim 0 ~t0:11.0 ~t1:19.0);
+  close ~tol:0.1 "after recovery" 4.0 (Netsim.avg_rate sim 0 ~t0:21.0 ~t1:29.0)
+
+let test_netsim_flow_arrives_later () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 2.0));
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.add_flow sim 1 ~at:10.0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.run sim ~until:30.0;
+  close ~tol:0.1 "alone" 2.0 (Netsim.avg_rate sim 0 ~t0:2.0 ~t1:9.0);
+  close ~tol:0.1 "shared" 1.0 (Netsim.avg_rate sim 0 ~t0:12.0 ~t1:29.0);
+  close ~tol:0.1 "newcomer" 1.0 (Netsim.avg_rate sim 1 ~t0:12.0 ~t1:29.0)
+
+let test_netsim_remove_flow () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 2.0));
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.add_flow sim 1 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.remove_flow sim ~at:10.0 1;
+  Netsim.run sim ~until:30.0;
+  close ~tol:0.1 "shared" 1.0 (Netsim.avg_rate sim 0 ~t0:2.0 ~t1:9.0);
+  close ~tol:0.1 "freed capacity" 2.0 (Netsim.avg_rate sim 0 ~t0:12.0 ~t1:29.0)
+
+let test_netsim_share_and_instance () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 1.0));
+  Netsim.add_iface sim 1 (Link.constant (Types.mbps 1.0));
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0; 1 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.add_flow sim 1 ~weight:1.0 ~allowed:[ 1 ]
+    (Netsim.Backlogged { pkt_size = 1000 });
+  Netsim.run sim ~until:5.0;
+  let snap = Netsim.snapshot sim in
+  Netsim.run sim ~until:25.0;
+  let share = Netsim.share_since sim snap ~flows:[ 0; 1 ] ~ifaces:[ 0; 1 ] in
+  (* Steady state: flow 0 on interface 0 only, flow 1 on interface 1. *)
+  close ~tol:5e4 "flow0 if0" 1e6 share.(0).(0);
+  close ~tol:5e4 "flow1 if1" 1e6 share.(1).(1);
+  close ~tol:5e4 "flow1 if0 zero" 0.0 share.(1).(0);
+  let inst = Netsim.instance_of sim ~flows:[ 0; 1 ] ~ifaces:[ 0; 1 ] in
+  Alcotest.(check int) "instance flows" 2
+    (Midrr_flownet.Instance.n_flows inst);
+  Alcotest.(check (list int)) "backlogged" [ 0; 1 ]
+    (Netsim.backlogged_flows sim)
+
+let test_netsim_completion_hook () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 8.0));
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Finite { total_bytes = 10_000; pkt_size = 1000 });
+  let count = ref 0 and bytes = ref 0 in
+  Netsim.on_complete sim (fun ~time:_ ~iface:_ pkt ->
+      incr count;
+      bytes := !bytes + pkt.size);
+  Netsim.run sim ~until:5.0;
+  Alcotest.(check int) "ten packets" 10 !count;
+  Alcotest.(check int) "all bytes" 10_000 !bytes
+
+(* --- Scenario language ------------------------------------------------------ *)
+
+module Scenario = Midrr_sim.Scenario
+
+let fig1c_scenario =
+  {|
+# figure 1(c)
+scheduler midrr
+iface 1 constant 1Mb
+iface 2 constant 1Mb
+flow a weight=1 ifaces=1,2 backlogged pkt=1000
+flow b weight=1 ifaces=2 backlogged pkt=1000
+measure 5 30
+run 30
+|}
+
+let test_scenario_fig1c () =
+  match Scenario.run_text fig1c_scenario with
+  | Error e -> Alcotest.failf "scenario failed: %s" e
+  | Ok report -> (
+      match report.windows with
+      | [ w ] ->
+          close ~tol:0.05 "a" 1.0 (List.assoc "a" w.rates);
+          close ~tol:0.05 "b" 1.0 (List.assoc "b" w.rates);
+          close ~tol:0.01 "reference a" 1.0 (List.assoc "a" w.reference)
+      | _ -> Alcotest.fail "expected one window")
+
+let test_scenario_events_and_finite () =
+  let text =
+    {|
+iface 1 constant 8Mb
+flow big weight=1 ifaces=1 finite bytes=1MB pkt=1000
+flow bg weight=1 ifaces=1 backlogged pkt=1000
+at 10 weight bg 3
+measure 12 20
+run 20
+|}
+  in
+  match Scenario.run_text text with
+  | Error e -> Alcotest.failf "scenario failed: %s" e
+  | Ok report ->
+      (* The 1 MB transfer shares 8 Mb/s -> ~2 s. *)
+      (match List.assoc_opt "big" report.completions with
+      | Some t when t > 1.5 && t < 3.0 -> ()
+      | Some t -> Alcotest.failf "completion %.2f out of range" t
+      | None -> Alcotest.fail "no completion recorded");
+      (match report.windows with
+      | [ w ] ->
+          (* After the weight change, bg owns the link alone anyway. *)
+          close ~tol:0.5 "bg rate" 8.0 (List.assoc "bg" w.rates)
+      | _ -> Alcotest.fail "expected one window")
+
+let test_scenario_allow_event () =
+  let text =
+    {|
+iface 1 constant 4Mb
+iface 2 constant 4Mb
+flow a weight=1 ifaces=1 backlogged pkt=1000
+at 10 allow a 2
+measure 2 9
+measure 12 20
+run 20
+|}
+  in
+  match Scenario.run_text text with
+  | Error e -> Alcotest.failf "scenario failed: %s" e
+  | Ok report -> (
+      match report.windows with
+      | [ before; after ] ->
+          close ~tol:0.2 "before" 4.0 (List.assoc "a" before.rates);
+          close ~tol:0.4 "after" 8.0 (List.assoc "a" after.rates)
+      | _ -> Alcotest.fail "expected two windows")
+
+let test_scenario_parse_errors () =
+  let check_err text =
+    match Scenario.parse text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error _ -> ()
+  in
+  check_err "iface 1 constant fast\nrun 10";
+  check_err "flow a ifaces=1 backlogged pkt=100";
+  (* no iface / no run *)
+  check_err "iface 1 constant 1Mb\nflow a ifaces=1 backlogged pkt=5";
+  check_err "bogus directive\nrun 5";
+  check_err "iface 1 steps 1Mb 5:bad\nrun 5"
+
+let test_scenario_units () =
+  let text =
+    {|
+iface 1 constant 500kb
+flow a weight=1 ifaces=1 backlogged pkt=500
+measure 5 20
+run 20
+|}
+  in
+  match Scenario.run_text text with
+  | Error e -> Alcotest.failf "units scenario failed: %s" e
+  | Ok report -> (
+      match report.windows with
+      | [ w ] -> close ~tol:0.05 "kb suffix" 0.5 (List.assoc "a" w.rates)
+      | _ -> Alcotest.fail "expected one window")
+
+(* --- Tracer ---------------------------------------------------------------- *)
+
+module Tracer = Midrr_sim.Tracer
+
+let test_tracer_captures_events () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  let tracer = Tracer.create () in
+  Tracer.attach tracer sim;
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 8.0));
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Finite { total_bytes = 10_000; pkt_size = 1000 });
+  Netsim.run sim ~until:2.0;
+  Alcotest.(check int) "ten events" 10 (Tracer.length tracer);
+  Alcotest.(check int) "no drops" 0 (Tracer.dropped tracer);
+  Alcotest.(check (list (pair int int)))
+    "per-flow bytes" [ (0, 10_000) ]
+    (Tracer.bytes_per_flow tracer);
+  (* Events are time-ordered. *)
+  let times = List.map (fun (e : Tracer.event) -> e.time) (Tracer.events tracer) in
+  Alcotest.(check bool) "sorted" true (List.sort compare times = times)
+
+let test_tracer_ring_wraps () =
+  let tracer = Tracer.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Tracer.record tracer
+      { Tracer.time = Float.of_int i; iface = 0; flow = i; bytes = 1 }
+  done;
+  Alcotest.(check int) "capacity bound" 4 (Tracer.length tracer);
+  Alcotest.(check int) "drops counted" 6 (Tracer.dropped tracer);
+  Alcotest.(check (list int)) "keeps newest" [ 7; 8; 9; 10 ]
+    (List.map (fun (e : Tracer.event) -> e.flow) (Tracer.events tracer))
+
+let test_tracer_interleaving () =
+  let sched = Midrr.packed (Midrr.create ()) in
+  let sim = Netsim.create ~sched () in
+  let tracer = Tracer.create () in
+  Tracer.attach tracer sim;
+  Netsim.add_iface sim 0 (Link.constant (Types.mbps 8.0));
+  Netsim.add_flow sim 0 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1500 });
+  Netsim.add_flow sim 1 ~weight:1.0 ~allowed:[ 0 ]
+    (Netsim.Backlogged { pkt_size = 1500 });
+  Netsim.run sim ~until:5.0;
+  (* With equal 1500 B quanta and packets, DRR alternates strictly. *)
+  let pattern = Tracer.interleaving tracer ~iface:0 in
+  let rec alternates = function
+    | a :: (b :: _ as rest) -> a <> b && alternates rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strict alternation" true (alternates pattern);
+  if List.length pattern < 100 then Alcotest.fail "too few turns traced"
+
+let test_tracer_window_filter () =
+  let tracer = Tracer.create () in
+  List.iter
+    (fun time -> Tracer.record tracer { Tracer.time; iface = 0; flow = 0; bytes = 1 })
+    [ 0.5; 1.5; 2.5; 3.5 ];
+  Alcotest.(check int) "windowed" 2
+    (List.length (Tracer.between tracer ~t0:1.0 ~t1:3.0))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event-queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_eq_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_eq_interleaved;
+          Alcotest.test_case "nan rejected" `Quick test_eq_nan_rejected;
+          Alcotest.test_case "peek/length" `Quick test_eq_peek;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "executes in order" `Quick
+            test_engine_executes_in_order;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "events schedule events" `Quick
+            test_engine_events_schedule_events;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "constant" `Quick test_link_constant;
+          Alcotest.test_case "steps" `Quick test_link_steps;
+          Alcotest.test_case "steps validation" `Quick
+            test_link_steps_validation;
+          Alcotest.test_case "average" `Quick test_link_average;
+          Alcotest.test_case "utilization" `Quick test_iface_utilization;
+          Alcotest.test_case "periodic" `Quick test_link_periodic;
+        ] );
+      ( "mobility",
+        [
+          Alcotest.test_case "gauss-markov stats" `Quick
+            test_mobility_gauss_markov_stats;
+          Alcotest.test_case "gauss-markov deterministic" `Quick
+            test_mobility_gauss_markov_deterministic;
+          Alcotest.test_case "coverage duty cycle" `Quick
+            test_mobility_coverage_duty;
+          Alcotest.test_case "drives netsim" `Quick test_mobility_drives_netsim;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "fig1c" `Quick test_scenario_fig1c;
+          Alcotest.test_case "events and finite" `Quick
+            test_scenario_events_and_finite;
+          Alcotest.test_case "allow event" `Quick test_scenario_allow_event;
+          Alcotest.test_case "parse errors" `Quick test_scenario_parse_errors;
+          Alcotest.test_case "rate units" `Quick test_scenario_units;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "captures events" `Quick
+            test_tracer_captures_events;
+          Alcotest.test_case "ring wraps" `Quick test_tracer_ring_wraps;
+          Alcotest.test_case "interleaving" `Quick test_tracer_interleaving;
+          Alcotest.test_case "window filter" `Quick test_tracer_window_filter;
+        ] );
+      ( "netsim",
+        [
+          Alcotest.test_case "cbr rate" `Quick test_netsim_cbr_rate;
+          Alcotest.test_case "poisson rate" `Slow test_netsim_poisson_rate;
+          Alcotest.test_case "finite completion" `Quick
+            test_netsim_finite_completion;
+          Alcotest.test_case "on-off duty cycle" `Slow
+            test_netsim_on_off_duty_cycle;
+          Alcotest.test_case "link down recovers" `Quick
+            test_netsim_link_down_recovers;
+          Alcotest.test_case "flow arrives later" `Quick
+            test_netsim_flow_arrives_later;
+          Alcotest.test_case "remove flow" `Quick test_netsim_remove_flow;
+          Alcotest.test_case "share and instance" `Quick
+            test_netsim_share_and_instance;
+          Alcotest.test_case "completion hook" `Quick
+            test_netsim_completion_hook;
+        ] );
+    ]

@@ -1,0 +1,342 @@
+(* Unit tests for the statistics substrate. *)
+
+module Rng = Midrr_stats.Rng
+module Summary = Midrr_stats.Summary
+module Cdf = Midrr_stats.Cdf
+module Histogram = Midrr_stats.Histogram
+module Ewma = Midrr_stats.Ewma
+module Timeseries = Midrr_stats.Timeseries
+
+let close ?(tol = 1e-9) what expected got =
+  if Float.abs (expected -. got) > tol then
+    Alcotest.failf "%s: expected %.6g, got %.6g" what expected got
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 10000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:9 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10000 do
+    let x = Rng.int rng ~bound:10 in
+    if x < 0 || x >= 10 then Alcotest.failf "int out of range: %d" x;
+    seen.(x) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:3 in
+  let n = 200000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:5.0
+  done;
+  close ~tol:0.1 "exponential mean" 5.0 (!sum /. Float.of_int n)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:4 in
+  let n = 200000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mu:2.0 ~sigma:3.0) in
+  close ~tol:0.05 "gaussian mean" 2.0 (Summary.mean xs);
+  close ~tol:0.05 "gaussian sd" 3.0 (Summary.stddev xs)
+
+let test_rng_pareto_support () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10000 do
+    let x = Rng.pareto rng ~alpha:2.0 ~x_min:1.5 in
+    if x < 1.5 then Alcotest.failf "pareto below x_min: %f" x
+  done
+
+let test_rng_zipf_rank1_most_common () =
+  let rng = Rng.create ~seed:6 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 20000 do
+    let r = Rng.zipf rng ~n:10 ~s:1.2 in
+    if r < 1 || r > 10 then Alcotest.failf "zipf out of range: %d" r;
+    counts.(r) <- counts.(r) + 1
+  done;
+  for r = 2 to 10 do
+    if counts.(1) <= counts.(r) then
+      Alcotest.failf "rank 1 (%d) not more common than rank %d (%d)"
+        counts.(1) r counts.(r)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:8 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:10 in
+  let child = Rng.split parent in
+  (* The child stream should not replay the parent stream. *)
+  let p = Array.init 32 (fun _ -> Rng.bits64 parent) in
+  let c = Array.init 32 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "different streams" false (p = c)
+
+(* --- Summary ------------------------------------------------------------ *)
+
+let test_summary_basic () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  close "mean" 5.0 (Summary.mean xs);
+  close ~tol:1e-4 "stddev" 2.13809 (Summary.stddev xs);
+  close "min" 2.0 (Summary.min xs);
+  close "max" 9.0 (Summary.max xs);
+  close "median" 4.5 (Summary.median xs)
+
+let test_summary_percentile_interpolation () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  close "p0" 1.0 (Summary.percentile xs ~p:0.0);
+  close "p100" 4.0 (Summary.percentile xs ~p:100.0);
+  close "p50" 2.5 (Summary.percentile xs ~p:50.0);
+  close "p25" 1.75 (Summary.percentile xs ~p:25.0)
+
+let test_summary_empty_nan () =
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Summary.mean [||]));
+  Alcotest.(check bool)
+    "percentile nan" true
+    (Float.is_nan (Summary.percentile [||] ~p:50.0))
+
+let test_summary_kahan () =
+  (* Large base plus many tiny increments: naive summation loses them. *)
+  let xs = Array.make 10001 1e-8 in
+  xs.(0) <- 1e8;
+  close ~tol:1e-6 "kahan total" (1e8 +. 1e-4) (Summary.total xs)
+
+let test_jain_index () =
+  close "equal allocations" 1.0 (Summary.jain_index [| 3.0; 3.0; 3.0 |]);
+  close "one hog" (1.0 /. 3.0) (Summary.jain_index [| 9.0; 0.0; 0.0 |]);
+  close "weighted equal" 1.0
+    (Summary.weighted_jain_index ~rates:[| 2.0; 4.0 |] ~weights:[| 1.0; 2.0 |])
+
+let test_describe_consistency () =
+  let rng = Rng.create ~seed:12 in
+  let xs = Array.init 1000 (fun _ -> Rng.float rng) in
+  let d = Summary.describe xs in
+  Alcotest.(check int) "count" 1000 d.count;
+  if not (d.min <= d.p25 && d.p25 <= d.median && d.median <= d.p75) then
+    Alcotest.fail "quartiles out of order";
+  if not (d.p75 <= d.p90 && d.p90 <= d.p99 && d.p99 <= d.max) then
+    Alcotest.fail "upper tail out of order"
+
+(* --- Cdf ---------------------------------------------------------------- *)
+
+let test_cdf_eval () =
+  let c = Cdf.of_samples [| 1.0; 2.0; 2.0; 4.0 |] in
+  close "below support" 0.0 (Cdf.eval c 0.5);
+  close "at 1" 0.25 (Cdf.eval c 1.0);
+  close "at 2" 0.75 (Cdf.eval c 2.0);
+  close "between" 0.75 (Cdf.eval c 3.0);
+  close "at max" 1.0 (Cdf.eval c 4.0);
+  close "beyond" 1.0 (Cdf.eval c 100.0)
+
+let test_cdf_quantile () =
+  let c = Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  close "q=0.25" 1.0 (Cdf.quantile c ~q:0.25);
+  close "q=0.5" 2.0 (Cdf.quantile c ~q:0.5);
+  close "q=1" 4.0 (Cdf.quantile c ~q:1.0)
+
+let test_cdf_weighted () =
+  (* 1 with weight 3, 5 with weight 1. *)
+  let c = Cdf.of_weighted [ (1.0, 3.0); (5.0, 1.0) ] in
+  close "P(X<=1)" 0.75 (Cdf.eval c 1.0);
+  close "P(X<=5)" 1.0 (Cdf.eval c 5.0);
+  close "complementary" 0.25 (Cdf.complementary c 1.0)
+
+let test_cdf_merges_duplicates () =
+  let c = Cdf.of_weighted [ (2.0, 1.0); (2.0, 1.0); (3.0, 2.0) ] in
+  Alcotest.(check int) "two distinct values" 2 (Array.length (Cdf.support c));
+  close "P(X<=2)" 0.5 (Cdf.eval c 2.0)
+
+let test_cdf_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Cdf.of_samples: empty")
+    (fun () -> ignore (Cdf.of_samples [||]));
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Cdf.of_weighted: zero total weight") (fun () ->
+      ignore (Cdf.of_weighted [ (1.0, 0.0) ]))
+
+(* --- Histogram ---------------------------------------------------------- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add h 0.0;
+  Histogram.add h 0.5;
+  Histogram.add h 9.99;
+  Histogram.add h (-1.0);
+  Histogram.add h 10.0;
+  Alcotest.(check int) "bin 0" 2 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 9" 1 (Histogram.bin_count h 9);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Histogram.overflow h);
+  Alcotest.(check int) "total" 5 (Histogram.count h)
+
+let test_histogram_edges () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  let lo, hi = Histogram.bin_edges h 2 in
+  close "edge lo" 0.5 lo;
+  close "edge hi" 0.75 hi
+
+let test_histogram_density_sums_to_one () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:8 in
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    Histogram.add h (Rng.float rng)
+  done;
+  let total =
+    Array.fold_left (fun acc (_, d) -> acc +. d) 0.0 (Histogram.to_density h)
+  in
+  close ~tol:1e-9 "density total" 1.0 total
+
+(* --- Ewma --------------------------------------------------------------- *)
+
+let test_ewma_converges () =
+  let e = Ewma.create ~alpha:0.5 in
+  Alcotest.(check bool) "uninitialized" false (Ewma.is_initialized e);
+  ignore (Ewma.update e 10.0);
+  close "first sample" 10.0 (Ewma.value e);
+  for _ = 1 to 50 do
+    ignore (Ewma.update e 20.0)
+  done;
+  close ~tol:1e-6 "converged" 20.0 (Ewma.value e)
+
+let test_ewma_rate_steady () =
+  let r = Ewma.rate_create ~tau:1.0 in
+  (* 1000 units/s delivered in 10 ms increments: estimate approaches 1000. *)
+  let estimate = ref 0.0 in
+  for i = 1 to 3000 do
+    estimate := Ewma.rate_update r ~now:(Float.of_int i *. 0.01) ~amount:10.0
+  done;
+  close ~tol:20.0 "steady rate" 1000.0 !estimate
+
+let test_ewma_rate_decays () =
+  let r = Ewma.rate_create ~tau:1.0 in
+  ignore (Ewma.rate_update r ~now:0.0 ~amount:100.0);
+  let v1 = Ewma.rate_value r ~now:1.0 in
+  let v2 = Ewma.rate_value r ~now:3.0 in
+  if not (v2 < v1) then Alcotest.fail "rate did not decay";
+  close ~tol:1e-9 "decay factor" (v1 *. exp (-2.0)) v2
+
+(* --- Timeseries ---------------------------------------------------------- *)
+
+let test_timeseries_binning () =
+  let ts = Timeseries.create ~bin:1.0 in
+  Timeseries.record ts ~time:0.5 ~bytes:100;
+  Timeseries.record ts ~time:0.9 ~bytes:50;
+  Timeseries.record ts ~time:2.1 ~bytes:200;
+  Alcotest.(check int) "bin 0" 150 (Timeseries.bytes_in_bin ts 0);
+  Alcotest.(check int) "bin 1" 0 (Timeseries.bytes_in_bin ts 1);
+  Alcotest.(check int) "bin 2" 200 (Timeseries.bytes_in_bin ts 2);
+  Alcotest.(check int) "n_bins" 3 (Timeseries.n_bins ts);
+  Alcotest.(check int) "total" 350 (Timeseries.total_bytes ts)
+
+let test_timeseries_out_of_order () =
+  let ts = Timeseries.create ~bin:1.0 in
+  Timeseries.record ts ~time:5.0 ~bytes:10;
+  Timeseries.record ts ~time:1.0 ~bytes:20;
+  Alcotest.(check int) "bin 1 late write" 20 (Timeseries.bytes_in_bin ts 1);
+  Alcotest.(check int) "n_bins tracks max" 6 (Timeseries.n_bins ts)
+
+let test_timeseries_rate_series () =
+  let ts = Timeseries.create ~bin:2.0 in
+  Timeseries.record ts ~time:1.0 ~bytes:250_000;
+  (* 250 kB in a 2 s bin = 1 Mb/s. *)
+  let series = Timeseries.rate_series ~unit_scale:1e6 ts in
+  Alcotest.(check int) "one bin" 1 (Array.length series);
+  let t, rate = series.(0) in
+  close "midpoint" 1.0 t;
+  close ~tol:1e-9 "rate" 1.0 rate
+
+let test_timeseries_rate_between () =
+  let ts = Timeseries.create ~bin:1.0 in
+  for i = 0 to 9 do
+    Timeseries.record ts ~time:(Float.of_int i +. 0.5) ~bytes:125_000
+  done;
+  (* 125 kB per 1 s bin = 1 Mb/s everywhere, windows included. *)
+  close ~tol:1e-9 "full window" 1.0
+    (Timeseries.rate_between ~unit_scale:1e6 ts ~t0:0.0 ~t1:10.0);
+  close ~tol:1e-9 "partial window" 1.0
+    (Timeseries.rate_between ~unit_scale:1e6 ts ~t0:2.5 ~t1:7.5)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "pareto support" `Quick test_rng_pareto_support;
+          Alcotest.test_case "zipf rank order" `Quick
+            test_rng_zipf_rank1_most_common;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "basic moments" `Quick test_summary_basic;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_summary_percentile_interpolation;
+          Alcotest.test_case "empty is nan" `Quick test_summary_empty_nan;
+          Alcotest.test_case "kahan summation" `Quick test_summary_kahan;
+          Alcotest.test_case "jain index" `Quick test_jain_index;
+          Alcotest.test_case "describe consistency" `Quick
+            test_describe_consistency;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "eval" `Quick test_cdf_eval;
+          Alcotest.test_case "quantile" `Quick test_cdf_quantile;
+          Alcotest.test_case "weighted" `Quick test_cdf_weighted;
+          Alcotest.test_case "merges duplicates" `Quick
+            test_cdf_merges_duplicates;
+          Alcotest.test_case "rejects empty" `Quick test_cdf_rejects_empty;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "edges" `Quick test_histogram_edges;
+          Alcotest.test_case "density" `Quick
+            test_histogram_density_sums_to_one;
+        ] );
+      ( "ewma",
+        [
+          Alcotest.test_case "converges" `Quick test_ewma_converges;
+          Alcotest.test_case "rate steady" `Quick test_ewma_rate_steady;
+          Alcotest.test_case "rate decays" `Quick test_ewma_rate_decays;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "binning" `Quick test_timeseries_binning;
+          Alcotest.test_case "out of order" `Quick test_timeseries_out_of_order;
+          Alcotest.test_case "rate series" `Quick test_timeseries_rate_series;
+          Alcotest.test_case "rate between" `Quick test_timeseries_rate_between;
+        ] );
+    ]
