@@ -361,6 +361,36 @@ let run_benchmarks () =
       Format.printf "  %-40s %12.1f %8.4f@." name estimate r2)
     rows
 
+(* --- Part 2c: observability overhead ----------------------------------- *)
+
+(* Acceptance gate for the event bus: with no sink installed, the
+   per-decision cost must be indistinguishable from the pre-bus engine
+   (the emission site is one mutable-field match); with a sink attached,
+   the cost of allocating and delivering the events is what's measured.
+   Results go to BENCH_obs.json for machine consumption. *)
+let bench_obs_overhead () =
+  section "Observability: per-decision cost, sink disabled vs attached";
+  let decisions = if quick then 5_000 else 50_000 in
+  let measure ?sink label =
+    let r = Midrr_bridge.Profiler.run ~n_ifaces:8 ~decisions ?sink () in
+    let s = Midrr_bridge.Profiler.summary r in
+    Format.printf "  %-14s median=%7.1f ns  p99=%8.1f ns@." label s.median
+      s.p99;
+    s
+  in
+  (* Warm up caches and the allocator so both variants see the same state. *)
+  ignore (Midrr_bridge.Profiler.run ~n_ifaces:8 ~decisions:2_000 ());
+  let off = measure "sink off" in
+  let delivered = ref 0 in
+  let on = measure ~sink:(fun _ -> incr delivered) "sink attached" in
+  Format.printf "  events delivered with sink attached: %d@." !delivered;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\"decisions\":%d,\"sink_disabled\":{\"median_ns\":%.1f,\"p99_ns\":%.1f},\"sink_attached\":{\"median_ns\":%.1f,\"p99_ns\":%.1f},\"events_delivered\":%d}\n"
+    decisions off.median off.p99 on.median on.p99 !delivered;
+  close_out oc;
+  Format.printf "  written to BENCH_obs.json@."
+
 let extended_studies () =
   section "Granularity ablation (HTTP chunk size vs max-min, paper 6.4)";
   Format.printf "%a@." E.Granularity.print (E.Granularity.run ());
@@ -379,4 +409,5 @@ let () =
   ablation_adversarial ();
   extended_studies ();
   run_benchmarks ();
+  bench_obs_overhead ();
   Format.printf "@.done.@."

@@ -68,11 +68,30 @@ let run_aggregation () =
   Format.fprintf ppf "%a@." Midrr_experiments.Aggregation.print
     (Midrr_experiments.Aggregation.run ())
 
-let run_scenario path =
+let run_scenario ?trace path =
   let text = In_channel.with_open_text path In_channel.input_all in
-  match Midrr_sim.Scenario.run_text text with
+  let finish, sink =
+    (* Stream events straight to the file: a full run can emit far more
+       events than any bounded recorder would retain. *)
+    match trace with
+    | None -> ((fun () -> ()), None)
+    | Some out -> (
+        match open_out out with
+        | oc -> ((fun () -> close_out oc), Some (Midrr_obs.Jsonl.sink oc))
+        | exception Sys_error e ->
+            Format.eprintf "trace error: %s@." e;
+            exit 1)
+  in
+  let result =
+    Fun.protect ~finally:finish (fun () ->
+        Midrr_sim.Scenario.run_text ?sink text)
+  in
+  match result with
   | Ok report ->
-      Format.fprintf ppf "%a@." Midrr_sim.Scenario.pp_report report
+      Format.fprintf ppf "%a@." Midrr_sim.Scenario.pp_report report;
+      Option.iter
+        (fun out -> Format.fprintf ppf "event trace written to %s@." out)
+        trace
   | Error e ->
       Format.eprintf "scenario error: %s@." e;
       exit 1
@@ -191,11 +210,21 @@ let scenario_file =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Scenario file (see scenarios/*.scn).")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Stream the run's scheduler-event trace (enqueues, serves, turns, \
+           flag resets, completions...) to $(docv) as JSON lines.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a declarative scenario file and print its measurements")
-    Term.(const run_scenario $ scenario_file)
+    Term.(const (fun trace path -> run_scenario ?trace path) $ trace
+          $ scenario_file)
 
 let main =
   let doc = "miDRR reproduction: scheduling packets over multiple interfaces" in

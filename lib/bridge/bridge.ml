@@ -16,8 +16,19 @@ type t = {
 let default_vif =
   Vif.addr ~mac:0x02_00_5E_00_00_01L ~ip:0x0A00_0001l (* 10.0.0.1 *)
 
-let create ?(vif_addr = default_vif) ~sched () =
-  { vif = vif_addr; sched; ports = Hashtbl.create 8; rewrites = 0 }
+let create ?(vif_addr = default_vif) ?sink ~sched () =
+  let t = { vif = vif_addr; sched; ports = Hashtbl.create 8; rewrites = 0 } in
+  (match sink with
+  | None -> ()
+  | Some s ->
+      (* The bridge runs on the wall clock: stamp events with seconds
+         since the bridge came up. *)
+      let t0 = Monotonic_clock.now () in
+      let clock () =
+        Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9
+      in
+      Sched_intf.Packed.subscribe sched (Midrr_obs.Sink.stamp ~clock s));
+  t
 
 let vif_addr t = t.vif
 

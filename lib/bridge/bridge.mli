@@ -12,8 +12,12 @@ open Midrr_core
 
 type t
 
-val create : ?vif_addr:Vif.addr -> sched:Sched_intf.packed -> unit -> t
-(** [vif_addr] is the arbitrary address presented to applications. *)
+val create :
+  ?vif_addr:Vif.addr -> ?sink:Midrr_obs.Sink.t -> sched:Sched_intf.packed ->
+  unit -> t
+(** [vif_addr] is the arbitrary address presented to applications.
+    [sink] subscribes to the scheduler's event stream, stamped with
+    seconds since the bridge was created (monotonic clock). *)
 
 val vif_addr : t -> Vif.addr
 

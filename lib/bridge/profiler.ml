@@ -13,9 +13,10 @@ type result = {
 let now_ns () = Int64.to_float (Monotonic_clock.now ())
 
 let run ?(n_flows = 32) ?(queued_packets = 1000) ?(decisions = 20000)
-    ?(pkt_size = 1000) ?(seed = 7) ?(target = Decision) ~n_ifaces () =
+    ?(pkt_size = 1000) ?(seed = 7) ?(target = Decision) ?sink ~n_ifaces () =
   if n_ifaces <= 0 then invalid_arg "Profiler.run: n_ifaces <= 0";
   let sched = Midrr.create () in
+  Midrr.set_sink sched sink;
   let packed = Midrr.packed sched in
   let bridge = Bridge.create ~sched:packed () in
   let rng = Rng.create ~seed in

@@ -24,6 +24,7 @@ val run :
   ?pkt_size:int ->
   ?seed:int ->
   ?target:target ->
+  ?sink:(Midrr_obs.Event.t -> unit) ->
   n_ifaces:int ->
   unit ->
   result
@@ -31,7 +32,11 @@ val run :
     (default 32) flows willing to use every interface, keep
     [queued_packets] (default 1000) packets queued across them, and time
     [decisions] (default 20000) scheduling decisions round-robining over
-    the interfaces.  Queues are topped up between timed sections. *)
+    the interfaces.  Queues are topped up between timed sections.
+
+    [sink], when given, is installed on the scheduler before the timed
+    loop, so the measured per-decision cost {e includes} event emission —
+    the knob behind the bench harness's observability-overhead numbers. *)
 
 val cdf : result -> Midrr_stats.Cdf.t
 (** Empirical CDF of the per-decision time in nanoseconds. *)

@@ -1,4 +1,5 @@
 module Iset = Set.Make (Int)
+module Event = Midrr_obs.Event
 
 type mode = Plain | Service_flags
 
@@ -43,7 +44,16 @@ type t = {
   t_flows : (Types.flow_id, flow_state) Hashtbl.t;
   t_ifaces : (Types.iface_id, iface_state) Hashtbl.t;
   mutable t_considered : int;
+  mutable t_sink : (Event.t -> unit) option;
 }
+
+(* Control-path emission.  Hot-path sites (enqueue / begin_turn /
+   check_next / next_packet) match on [t_sink] inline instead, so the
+   event is never even allocated when observability is off. *)
+let emit t ev = match t.t_sink with None -> () | Some s -> s ev
+
+let set_sink t s = t.t_sink <- s
+let sink t = t.t_sink
 
 let create ?(base_quantum = 1500) ?queue_capacity ?(flag_policy = Per_turn)
     ?(counter_max = 1) t_mode =
@@ -58,6 +68,7 @@ let create ?(base_quantum = 1500) ?queue_capacity ?(flag_policy = Per_turn)
     t_flows = Hashtbl.create 64;
     t_ifaces = Hashtbl.create 16;
     t_considered = 0;
+    t_sink = None;
   }
 
 let mode t = t.t_mode
@@ -135,7 +146,8 @@ let add_iface t j =
         flow.f_links <- link :: flow.f_links;
         if not (Pktqueue.is_empty flow.f_queue) then insert_link ifc link
       end)
-    t.t_flows
+    t.t_flows;
+  emit t (Event.Iface_up { iface = j })
 
 let remove_iface t j =
   let ifc = iface_state t j in
@@ -147,7 +159,8 @@ let remove_iface t j =
           remove_link ifc link;
           flow.f_links <- List.filter (fun l -> l != link) flow.f_links)
     t.t_flows;
-  Hashtbl.remove t.t_ifaces j
+  Hashtbl.remove t.t_ifaces j;
+  emit t (Event.Iface_down { iface = j })
 
 let ifaces t =
   Hashtbl.fold (fun j _ acc -> j :: acc) t.t_ifaces [] |> List.sort compare
@@ -181,12 +194,14 @@ let add_flow t ~flow ~weight ~allowed =
               l_deficit = 0.0; l_served = 0; l_turns = 0 }
             :: fs.f_links)
     fs.f_allowed;
-  Hashtbl.replace t.t_flows flow fs
+  Hashtbl.replace t.t_flows flow fs;
+  emit t (Event.Flow_add { flow; weight })
 
 let remove_flow t f =
   let fs = flow_state t f in
   deactivate fs;
-  Hashtbl.remove t.t_flows f
+  Hashtbl.remove t.t_flows f;
+  emit t (Event.Flow_remove { flow = f })
 
 let flows t =
   Hashtbl.fold (fun f _ acc -> f :: acc) t.t_flows [] |> List.sort compare
@@ -195,7 +210,8 @@ let set_weight t f w =
   if not (w > 0.0) then invalid_arg "Drr_engine.set_weight: weight <= 0";
   let fs = flow_state t f in
   fs.f_weight <- w;
-  fs.f_quantum <- w *. Float.of_int t.t_base_quantum
+  fs.f_quantum <- w *. Float.of_int t.t_base_quantum;
+  emit t (Event.Weight_change { flow = f; weight = w })
 
 let allowed_ifaces t f =
   Iset.elements (flow_state t f).f_allowed
@@ -230,11 +246,21 @@ let set_allowed t f allowed =
 
 let enqueue t (p : Packet.t) =
   match Hashtbl.find_opt t.t_flows p.flow with
-  | None -> false
+  | None ->
+      (match t.t_sink with
+      | None -> ()
+      | Some s -> s (Event.Drop { flow = p.flow; bytes = p.size }));
+      false
   | Some fs ->
       let was_empty = Pktqueue.is_empty fs.f_queue in
       let accepted = Pktqueue.push fs.f_queue p in
       if accepted && was_empty then activate fs;
+      (match t.t_sink with
+      | None -> ()
+      | Some s ->
+          s
+            (if accepted then Event.Enqueue { flow = p.flow; bytes = p.size }
+             else Event.Drop { flow = p.flow; bytes = p.size }));
       accepted
 
 (* Give a flow its service turn: top up the deficit and, in miDRR mode,
@@ -245,6 +271,9 @@ let begin_turn t ifc link =
   link.l_deficit <- link.l_deficit +. flow.f_quantum;
   flow.f_turns <- flow.f_turns + 1;
   link.l_turns <- link.l_turns + 1;
+  (match t.t_sink with
+  | None -> ()
+  | Some s -> s (Event.Turn { flow = flow.f_id; iface = ifc.i_id }));
   match t.t_mode with
   | Plain -> ()
   | Service_flags ->
@@ -252,8 +281,7 @@ let begin_turn t ifc link =
         (fun other ->
           if other != link then
             other.flag <- Stdlib.min t.t_counter_max (other.flag + 1))
-        flow.f_links;
-      ignore ifc
+        flow.f_links
 
 (* Advance C_j to the next flow to serve.  [skip_current] distinguishes the
    two call sites of the paper's pseudocode: after an ordinary
@@ -275,7 +303,12 @@ let check_next t ifc ~skip_current =
          is unflagged, so the second lap stops at the first flow. *)
       while (Ring.value !n).flag > 0 do
         t.t_considered <- t.t_considered + 1;
-        (Ring.value !n).flag <- (Ring.value !n).flag - 1;
+        let link = Ring.value !n in
+        link.flag <- link.flag - 1;
+        (match t.t_sink with
+        | None -> ()
+        | Some s ->
+            s (Event.Flag_reset { flow = link.l_flow.f_id; iface = ifc.i_id }));
         n := Ring.next ifc.i_ring !n
       done);
   ifc.i_cursor <- Some !n;
@@ -306,6 +339,17 @@ let next_packet t j =
         link.l_deficit <- link.l_deficit -. Float.of_int size;
         flow.f_served <- flow.f_served + size;
         link.l_served <- link.l_served + size;
+        (match t.t_sink with
+        | None -> ()
+        | Some s ->
+            s
+              (Event.Serve
+                 {
+                   flow = flow.f_id;
+                   iface = j;
+                   bytes = size;
+                   deficit = link.l_deficit;
+                 }));
         (* Under [Per_send], "when interface k serves flow i" (paper §3.1
            prose) is read as every transmission, refreshing the flags during
            the whole turn; the default [Per_turn] follows Algorithm 3.2 and

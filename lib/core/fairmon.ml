@@ -15,38 +15,70 @@ type t = {
   sched : Sched_intf.packed;
   phi : Types.flow_id -> float;
   alarm_threshold : float;
+  (* Live cumulative state, maintained from the event stream rather than
+     by polling the scheduler's counters at every sample. *)
+  served : (Types.flow_id, int) Hashtbl.t;
+  served_on : (Types.flow_id * Types.iface_id, int) Hashtbl.t;
+  backlog : (Types.flow_id, int) Hashtbl.t; (* queued bytes *)
   mutable last : snapshot option;
   mutable window_index : int;
   mutable alarm_count : int;
   mutable worst_ever : float;
 }
 
-let create ?(alarm_threshold = 15_000.0) ?(phi = fun _ -> 1.0) sched =
-  {
-    sched;
-    phi;
-    alarm_threshold;
-    last = None;
-    window_index = 0;
-    alarm_count = 0;
-    worst_ever = 0.0;
-  }
+let bump table key delta =
+  Hashtbl.replace table key
+    (delta + Option.value (Hashtbl.find_opt table key) ~default:0)
 
-let take_snapshot sched =
-  let served = Hashtbl.create 32
-  and served_on = Hashtbl.create 64
-  and backlogged = Hashtbl.create 32 in
+let on_event t (ev : Midrr_obs.Event.t) =
+  match ev with
+  | Serve { flow; iface; bytes; _ } ->
+      bump t.served flow bytes;
+      bump t.served_on (flow, iface) bytes;
+      bump t.backlog flow (-bytes)
+  | Enqueue { flow; bytes } -> bump t.backlog flow bytes
+  | Flow_remove { flow } -> Hashtbl.remove t.backlog flow
+  | _ -> ()
+
+let create ?(alarm_threshold = 15_000.0) ?(phi = fun _ -> 1.0) sched =
+  let t =
+    {
+      sched;
+      phi;
+      alarm_threshold;
+      served = Hashtbl.create 32;
+      served_on = Hashtbl.create 64;
+      backlog = Hashtbl.create 32;
+      last = None;
+      window_index = 0;
+      alarm_count = 0;
+      worst_ever = 0.0;
+    }
+  in
+  (* Events are increments, so seed the tables with the scheduler's
+     cumulative counters for flows registered before the monitor. *)
   List.iter
     (fun f ->
-      Hashtbl.replace served f (Sched_intf.Packed.served_bytes sched f);
-      Hashtbl.replace backlogged f (Sched_intf.Packed.is_backlogged sched f);
+      Hashtbl.replace t.served f (Sched_intf.Packed.served_bytes sched f);
+      Hashtbl.replace t.backlog f (Sched_intf.Packed.backlog_bytes sched f);
       List.iter
         (fun j ->
-          Hashtbl.replace served_on (f, j)
+          Hashtbl.replace t.served_on (f, j)
             (Sched_intf.Packed.served_bytes_on sched ~flow:f ~iface:j))
         (Sched_intf.Packed.allowed_ifaces sched f))
     (Sched_intf.Packed.flows sched);
-  { served; served_on; backlogged }
+  Sched_intf.Packed.subscribe sched (on_event t);
+  t
+
+let take_snapshot t =
+  let backlogged = Hashtbl.create (Hashtbl.length t.backlog) in
+  Hashtbl.iter (fun f bytes -> Hashtbl.replace backlogged f (bytes > 0))
+    t.backlog;
+  {
+    served = Hashtbl.copy t.served;
+    served_on = Hashtbl.copy t.served_on;
+    backlogged;
+  }
 
 (* The monitor checks exactly Theorem 2's conditions on the window:
    (1) two flows that both drew service from a common interface are in the
@@ -56,7 +88,7 @@ let take_snapshot sched =
    Cross-cluster pairs where the bystander is ahead are legitimate and are
    not flagged. *)
 let sample t =
-  let current = take_snapshot t.sched in
+  let current = take_snapshot t in
   let report =
     match t.last with
     | None ->

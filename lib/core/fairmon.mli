@@ -13,7 +13,10 @@
 
     A persistently large violation signals a preference misconfiguration
     or a scheduler defect.  The monitor is scheduler-agnostic (works over
-    {!Sched_intf.packed}). *)
+    {!Sched_intf.packed}) and event-driven: {!create} subscribes to the
+    scheduler's event stream ({!Sched_intf.Packed.subscribe}) and keeps
+    the service and backlog tallies itself, so {!sample} never polls the
+    scheduler's counters — only its preference configuration. *)
 
 type report = {
   window_index : int;
@@ -29,7 +32,9 @@ val create :
   ?alarm_threshold:float -> ?phi:(Types.flow_id -> float) -> Sched_intf.packed -> t
 (** [alarm_threshold] (bytes/weight, default 10 * 1500) is the |FM| above
     which a window is counted as an alarm.  [phi] supplies rate-preference
-    weights (default: all 1.0). *)
+    weights (default: all 1.0).  Subscribes to the scheduler's event
+    stream, tee-ing onto any sink already installed; counters of flows
+    registered before the call seed the monitor's tallies. *)
 
 val sample : t -> report
 (** Close the current window, compare it to the previous sample, and open

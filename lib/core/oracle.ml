@@ -23,6 +23,7 @@ type t = {
   mutable iface_list : Types.iface_id list;
   mutable stale : bool;
   mutable recomputations : int;
+  mutable t_sink : (Midrr_obs.Event.t -> unit) option;
 }
 
 let create ?queue_capacity ~capacity () =
@@ -33,9 +34,14 @@ let create ?queue_capacity ~capacity () =
     iface_list = [];
     stale = true;
     recomputations = 0;
+    t_sink = None;
   }
 
 let name _ = "oracle"
+
+let emit t ev = match t.t_sink with None -> () | Some s -> s ev
+let set_sink t s = t.t_sink <- s
+let sink t = t.t_sink
 
 let flow_state t f =
   match Hashtbl.find_opt t.flows_tbl f with
@@ -47,11 +53,13 @@ let has_iface t j = List.mem j t.iface_list
 let add_iface t j =
   if has_iface t j then invalid_arg "Oracle.add_iface: duplicate";
   t.iface_list <- List.sort compare (j :: t.iface_list);
-  t.stale <- true
+  t.stale <- true;
+  emit t (Midrr_obs.Event.Iface_up { iface = j })
 
 let remove_iface t j =
   t.iface_list <- List.filter (fun k -> k <> j) t.iface_list;
-  t.stale <- true
+  t.stale <- true;
+  emit t (Midrr_obs.Event.Iface_down { iface = j })
 
 let ifaces t = t.iface_list
 
@@ -71,11 +79,13 @@ let add_flow t ~flow ~weight ~allowed =
       epoch_served = Hashtbl.create 8;
       target = Hashtbl.create 8;
     };
-  t.stale <- true
+  t.stale <- true;
+  emit t (Midrr_obs.Event.Flow_add { flow; weight })
 
 let remove_flow t f =
   Hashtbl.remove t.flows_tbl f;
-  t.stale <- true
+  t.stale <- true;
+  emit t (Midrr_obs.Event.Flow_remove { flow = f })
 
 let flows t =
   Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl [] |> List.sort compare
@@ -83,7 +93,8 @@ let flows t =
 let set_weight t f w =
   if not (w > 0.0) then invalid_arg "Oracle.set_weight: weight <= 0";
   (flow_state t f).weight <- w;
-  t.stale <- true
+  t.stale <- true;
+  emit t (Midrr_obs.Event.Weight_change { flow = f; weight = w })
 
 let set_allowed t f allowed =
   (flow_state t f).allowed <- Iset.of_list allowed;
@@ -132,11 +143,22 @@ let recompute t =
 
 let enqueue t (p : Packet.t) =
   match Hashtbl.find_opt t.flows_tbl p.flow with
-  | None -> false
+  | None ->
+      (match t.t_sink with
+      | None -> ()
+      | Some s -> s (Midrr_obs.Event.Drop { flow = p.flow; bytes = p.size }));
+      false
   | Some fs ->
       let was_empty = Pktqueue.is_empty fs.queue in
       let accepted = Pktqueue.push fs.queue p in
       if accepted && was_empty then t.stale <- true;
+      (match t.t_sink with
+      | None -> ()
+      | Some s ->
+          s
+            (if accepted then
+               Midrr_obs.Event.Enqueue { flow = p.flow; bytes = p.size }
+             else Midrr_obs.Event.Drop { flow = p.flow; bytes = p.size }));
       accepted
 
 let next_packet t j =
@@ -189,6 +211,12 @@ let next_packet t j =
       bump fs.served_on;
       bump fs.epoch_served;
       if Pktqueue.is_empty fs.queue then t.stale <- true;
+      (match t.t_sink with
+      | None -> ()
+      | Some s ->
+          s
+            (Midrr_obs.Event.Serve
+               { flow = fs.f_id; iface = j; bytes = pkt.size; deficit = 0.0 }));
       Some pkt
 
 let backlog_bytes t f = Pktqueue.backlog_bytes (flow_state t f).queue
@@ -228,5 +256,7 @@ let packed t =
     let is_backlogged = is_backlogged
     let served_bytes = served_bytes
     let served_bytes_on = served_bytes_on
+    let set_sink = set_sink
+    let sink = sink
   end in
   Sched_intf.Packed ((module M), t)

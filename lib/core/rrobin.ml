@@ -14,6 +14,7 @@ type t = {
   queue_capacity : int option;
   flows_tbl : (Types.flow_id, flow) Hashtbl.t;
   ifaces_tbl : (Types.iface_id, iface) Hashtbl.t;
+  mutable t_sink : (Midrr_obs.Event.t -> unit) option;
 }
 
 let create ?queue_capacity () =
@@ -21,9 +22,14 @@ let create ?queue_capacity () =
     queue_capacity;
     flows_tbl = Hashtbl.create 64;
     ifaces_tbl = Hashtbl.create 16;
+    t_sink = None;
   }
 
 let name _ = "round-robin"
+
+let emit t ev = match t.t_sink with None -> () | Some s -> s ev
+let set_sink t s = t.t_sink <- s
+let sink t = t.t_sink
 
 let flow_state t f =
   match Hashtbl.find_opt t.flows_tbl f with
@@ -39,9 +45,12 @@ let has_iface t j = Hashtbl.mem t.ifaces_tbl j
 
 let add_iface t j =
   if has_iface t j then invalid_arg "Rrobin.add_iface: duplicate";
-  Hashtbl.replace t.ifaces_tbl j { order = [] }
+  Hashtbl.replace t.ifaces_tbl j { order = [] };
+  emit t (Midrr_obs.Event.Iface_up { iface = j })
 
-let remove_iface t j = Hashtbl.remove t.ifaces_tbl j
+let remove_iface t j =
+  Hashtbl.remove t.ifaces_tbl j;
+  emit t (Midrr_obs.Event.Iface_down { iface = j })
 
 let ifaces t =
   Hashtbl.fold (fun j _ acc -> j :: acc) t.ifaces_tbl [] |> List.sort compare
@@ -59,20 +68,23 @@ let add_flow t ~flow ~weight ~allowed =
       served = 0;
       served_on = Hashtbl.create 8;
     };
-  Hashtbl.iter (fun _ ifc -> ifc.order <- ifc.order @ [ flow ]) t.ifaces_tbl
+  Hashtbl.iter (fun _ ifc -> ifc.order <- ifc.order @ [ flow ]) t.ifaces_tbl;
+  emit t (Midrr_obs.Event.Flow_add { flow; weight })
 
 let remove_flow t f =
   Hashtbl.remove t.flows_tbl f;
   Hashtbl.iter
     (fun _ ifc -> ifc.order <- List.filter (fun g -> g <> f) ifc.order)
-    t.ifaces_tbl
+    t.ifaces_tbl;
+  emit t (Midrr_obs.Event.Flow_remove { flow = f })
 
 let flows t =
   Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl [] |> List.sort compare
 
 let set_weight t f w =
   if not (w > 0.0) then invalid_arg "Rrobin.set_weight: weight <= 0";
-  (flow_state t f).weight <- w
+  (flow_state t f).weight <- w;
+  emit t (Midrr_obs.Event.Weight_change { flow = f; weight = w })
 
 let set_allowed t f allowed = (flow_state t f).allowed <- Iset.of_list allowed
 
@@ -80,8 +92,21 @@ let allowed_ifaces t f = Iset.elements (flow_state t f).allowed
 
 let enqueue t (p : Packet.t) =
   match Hashtbl.find_opt t.flows_tbl p.flow with
-  | None -> false
-  | Some fs -> Pktqueue.push fs.queue p
+  | None ->
+      (match t.t_sink with
+      | None -> ()
+      | Some s -> s (Midrr_obs.Event.Drop { flow = p.flow; bytes = p.size }));
+      false
+  | Some fs ->
+      let accepted = Pktqueue.push fs.queue p in
+      (match t.t_sink with
+      | None -> ()
+      | Some s ->
+          s
+            (if accepted then
+               Midrr_obs.Event.Enqueue { flow = p.flow; bytes = p.size }
+             else Midrr_obs.Event.Drop { flow = p.flow; bytes = p.size }));
+      accepted
 
 let eligible t j f =
   match Hashtbl.find_opt t.flows_tbl f with
@@ -111,6 +136,12 @@ let next_packet t j =
             in
             Hashtbl.replace fs.served_on j (prev + pkt.size);
             ifc.order <- rest @ [ f ];
+            (match t.t_sink with
+            | None -> ()
+            | Some s ->
+                s
+                  (Midrr_obs.Event.Serve
+                     { flow = f; iface = j; bytes = pkt.size; deficit = 0.0 }));
             Some pkt
           end
           else rotate (rest @ [ f ]) (n - 1)
@@ -151,5 +182,7 @@ let packed t =
     let is_backlogged = is_backlogged
     let served_bytes = served_bytes
     let served_bytes_on = served_bytes_on
+    let set_sink = set_sink
+    let sink = sink
   end in
   Sched_intf.Packed ((module M), t)

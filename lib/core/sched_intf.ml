@@ -65,6 +65,15 @@ module type S = sig
 
   val served_bytes_on : t -> flow:Types.flow_id -> iface:Types.iface_id -> int
   (** Cumulative bytes handed to interface [j] for this flow. *)
+
+  val set_sink : t -> (Midrr_obs.Event.t -> unit) option -> unit
+  (** Install (or clear) the scheduler's event sink.  Schedulers have no
+      clock, so the sink is untimed — platforms stamp events with their
+      own clock (see {!Midrr_obs.Sink.stamp}).  With no sink installed,
+      emission must cost nothing beyond one field check per decision. *)
+
+  val sink : t -> (Midrr_obs.Event.t -> unit) option
+  (** The currently installed sink, if any. *)
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -97,4 +106,20 @@ module Packed = struct
 
   let served_bytes_on (Packed ((module M), t)) ~flow ~iface =
     M.served_bytes_on t ~flow ~iface
+
+  let set_sink (Packed ((module M), t)) s = M.set_sink t s
+  let sink (Packed ((module M), t)) = M.sink t
+
+  let subscribe p emit =
+    (* Tee onto whatever is already installed, so several consumers
+       (e.g. a platform's counters and a user tracer) can share the
+       stream without knowing about each other. *)
+    match sink p with
+    | None -> set_sink p (Some emit)
+    | Some prev ->
+        set_sink p
+          (Some
+             (fun ev ->
+               prev ev;
+               emit ev))
 end

@@ -16,6 +16,7 @@ type t = {
   queue_capacity : int option;
   flows_tbl : (Types.flow_id, flow) Hashtbl.t;
   ifaces_tbl : (Types.iface_id, iface) Hashtbl.t;
+  mutable t_sink : (Midrr_obs.Event.t -> unit) option;
 }
 
 let create ?queue_capacity () =
@@ -23,9 +24,14 @@ let create ?queue_capacity () =
     queue_capacity;
     flows_tbl = Hashtbl.create 64;
     ifaces_tbl = Hashtbl.create 16;
+    t_sink = None;
   }
 
 let name _ = "wfq-per-interface"
+
+let emit t ev = match t.t_sink with None -> () | Some s -> s ev
+let set_sink t s = t.t_sink <- s
+let sink t = t.t_sink
 
 let flow_state t f =
   match Hashtbl.find_opt t.flows_tbl f with
@@ -41,9 +47,12 @@ let has_iface t j = Hashtbl.mem t.ifaces_tbl j
 
 let add_iface t j =
   if has_iface t j then invalid_arg "Wfq.add_iface: duplicate";
-  Hashtbl.replace t.ifaces_tbl j { vtime = 0.0 }
+  Hashtbl.replace t.ifaces_tbl j { vtime = 0.0 };
+  emit t (Midrr_obs.Event.Iface_up { iface = j })
 
-let remove_iface t j = Hashtbl.remove t.ifaces_tbl j
+let remove_iface t j =
+  Hashtbl.remove t.ifaces_tbl j;
+  emit t (Midrr_obs.Event.Iface_down { iface = j })
 
 let ifaces t =
   Hashtbl.fold (fun j _ acc -> j :: acc) t.ifaces_tbl [] |> List.sort compare
@@ -62,16 +71,20 @@ let add_flow t ~flow ~weight ~allowed =
       served = 0;
       served_on = Hashtbl.create 8;
       finish = Hashtbl.create 8;
-    }
+    };
+  emit t (Midrr_obs.Event.Flow_add { flow; weight })
 
-let remove_flow t f = Hashtbl.remove t.flows_tbl f
+let remove_flow t f =
+  Hashtbl.remove t.flows_tbl f;
+  emit t (Midrr_obs.Event.Flow_remove { flow = f })
 
 let flows t =
   Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl [] |> List.sort compare
 
 let set_weight t f w =
   if not (w > 0.0) then invalid_arg "Wfq.set_weight: weight <= 0";
-  (flow_state t f).weight <- w
+  (flow_state t f).weight <- w;
+  emit t (Midrr_obs.Event.Weight_change { flow = f; weight = w })
 
 let set_allowed t f allowed = (flow_state t f).allowed <- Iset.of_list allowed
 
@@ -79,8 +92,21 @@ let allowed_ifaces t f = Iset.elements (flow_state t f).allowed
 
 let enqueue t (p : Packet.t) =
   match Hashtbl.find_opt t.flows_tbl p.flow with
-  | None -> false
-  | Some fs -> Pktqueue.push fs.queue p
+  | None ->
+      (match t.t_sink with
+      | None -> ()
+      | Some s -> s (Midrr_obs.Event.Drop { flow = p.flow; bytes = p.size }));
+      false
+  | Some fs ->
+      let accepted = Pktqueue.push fs.queue p in
+      (match t.t_sink with
+      | None -> ()
+      | Some s ->
+          s
+            (if accepted then
+               Midrr_obs.Event.Enqueue { flow = p.flow; bytes = p.size }
+             else Midrr_obs.Event.Drop { flow = p.flow; bytes = p.size }));
+      accepted
 
 let next_packet t j =
   let ifc = iface_state t j in
@@ -111,6 +137,12 @@ let next_packet t j =
       fs.served <- fs.served + pkt.size;
       let prev = Option.value (Hashtbl.find_opt fs.served_on j) ~default:0 in
       Hashtbl.replace fs.served_on j (prev + pkt.size);
+      (match t.t_sink with
+      | None -> ()
+      | Some s ->
+          s
+            (Midrr_obs.Event.Serve
+               { flow = fs.f_id; iface = j; bytes = pkt.size; deficit = 0.0 }));
       Some pkt
 
 let backlog_bytes t f = Pktqueue.backlog_bytes (flow_state t f).queue
@@ -149,5 +181,7 @@ let packed t =
     let is_backlogged = is_backlogged
     let served_bytes = served_bytes
     let served_bytes_on = served_bytes_on
+    let set_sink = set_sink
+    let sink = sink
   end in
   Sched_intf.Packed ((module M), t)

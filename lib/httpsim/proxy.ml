@@ -3,6 +3,7 @@ module Engine = Midrr_sim.Engine
 module Link = Midrr_sim.Link
 module Timeseries = Midrr_stats.Timeseries
 module Rng = Midrr_stats.Rng
+module Counters = Midrr_obs.Counters
 
 type transfer = {
   x_flow : Types.flow_id;
@@ -39,28 +40,38 @@ type t = {
   rtt_jitter : float;
   transfers : (Types.flow_id, transfer) Hashtbl.t;
   ifaces : (Types.iface_id, iface) Hashtbl.t;
-  cells : (Types.flow_id * Types.iface_id, int) Hashtbl.t;
+  cells : Counters.t;
+  sink : Midrr_obs.Sink.t option;
 }
 
 let create ?(seed = 1) ?(bin = 1.0) ?(chunk_size = 262144)
-    ?(pipeline_depth = 4) ?(rtt = 0.05) ?(rtt_jitter = 0.0) ~sched () =
+    ?(pipeline_depth = 4) ?(rtt = 0.05) ?(rtt_jitter = 0.0) ?sink ~sched () =
   if chunk_size <= 0 then invalid_arg "Proxy.create: chunk_size <= 0";
   if pipeline_depth <= 0 then invalid_arg "Proxy.create: pipeline_depth <= 0";
   if rtt < 0.0 then invalid_arg "Proxy.create: negative rtt";
   if rtt_jitter < 0.0 then invalid_arg "Proxy.create: negative rtt_jitter";
-  {
-    engine = Engine.create ();
-    sched;
-    rng = Rng.create ~seed;
-    bin;
-    chunk_size;
-    pipeline_depth;
-    rtt;
-    rtt_jitter;
-    transfers = Hashtbl.create 16;
-    ifaces = Hashtbl.create 8;
-    cells = Hashtbl.create 32;
-  }
+  let t =
+    {
+      engine = Engine.create ();
+      sched;
+      rng = Rng.create ~seed;
+      bin;
+      chunk_size;
+      pipeline_depth;
+      rtt;
+      rtt_jitter;
+      transfers = Hashtbl.create 16;
+      ifaces = Hashtbl.create 8;
+      cells = Counters.create ~kind:Completes ();
+      sink;
+    }
+  in
+  (match sink with
+  | None -> ()
+  | Some s ->
+      Sched_intf.Packed.subscribe sched
+        (Midrr_obs.Sink.stamp ~clock:(fun () -> Engine.now t.engine) s));
+  t
 
 let engine t = t.engine
 let now t = Engine.now t.engine
@@ -149,9 +160,13 @@ and complete t ifc req =
   let time = now t in
   ifc.receiving <- false;
   ifc.outstanding <- ifc.outstanding - 1;
-  let key = (req.r_flow, ifc.i_id) in
-  let prev = Option.value (Hashtbl.find_opt t.cells key) ~default:0 in
-  Hashtbl.replace t.cells key (prev + req.r_bytes);
+  Counters.add t.cells ~flow:req.r_flow ~iface:ifc.i_id ~bytes:req.r_bytes;
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+      s ~time
+        (Midrr_obs.Event.Complete
+           { flow = req.r_flow; iface = ifc.i_id; bytes = req.r_bytes }));
   (match Hashtbl.find_opt t.transfers req.r_flow with
   | Some x ->
       x.received <- x.received + req.r_bytes;
@@ -235,15 +250,11 @@ let received_bytes t f = (transfer t f).received
 
 let completion_time t f = (transfer t f).done_at
 
-let served_cell t ~flow ~iface =
-  Option.value (Hashtbl.find_opt t.cells (flow, iface)) ~default:0
+let served_cell t ~flow ~iface = Counters.cell t.cells ~flow ~iface
 
-type snapshot = {
-  snap_time : float;
-  snap_cells : (Types.flow_id * Types.iface_id, int) Hashtbl.t;
-}
+type snapshot = { snap_time : float; snap_cells : Counters.t }
 
-let snapshot t = { snap_time = now t; snap_cells = Hashtbl.copy t.cells }
+let snapshot t = { snap_time = now t; snap_cells = Counters.copy t.cells }
 
 let share_since t snap ~flows ~ifaces =
   let dt = now t -. snap.snap_time in
@@ -254,15 +265,10 @@ let share_since t snap ~flows ~ifaces =
          Array.of_list
            (List.map
               (fun j ->
-                let cur =
-                  Option.value (Hashtbl.find_opt t.cells (f, j)) ~default:0
+                let d =
+                  Counters.since t.cells snap.snap_cells ~flow:f ~iface:j
                 in
-                let base =
-                  Option.value
-                    (Hashtbl.find_opt snap.snap_cells (f, j))
-                    ~default:0
-                in
-                8.0 *. Float.of_int (cur - base) /. dt)
+                8.0 *. Float.of_int d /. dt)
               ifaces))
        flows)
 

@@ -25,6 +25,7 @@ val create :
   ?pipeline_depth:int ->
   ?rtt:float ->
   ?rtt_jitter:float ->
+  ?sink:Midrr_obs.Sink.t ->
   sched:Sched_intf.packed ->
   unit ->
   t

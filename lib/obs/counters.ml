@@ -1,0 +1,45 @@
+type kind = Serves | Completes
+
+type t = { kind : kind; cells : (int * int, int) Hashtbl.t }
+
+let create ?(kind = Completes) () = { kind; cells = Hashtbl.create 64 }
+
+let add t ~flow ~iface ~bytes =
+  let key = (flow, iface) in
+  let prev = Option.value (Hashtbl.find_opt t.cells key) ~default:0 in
+  Hashtbl.replace t.cells key (prev + bytes)
+
+let sink t : Sink.t =
+ fun ~time:_ ev ->
+  match (t.kind, ev) with
+  | Serves, Event.Serve { flow; iface; bytes; _ }
+  | Completes, Event.Complete { flow; iface; bytes } ->
+      add t ~flow ~iface ~bytes
+  | _ -> ()
+
+let cell t ~flow ~iface =
+  Option.value (Hashtbl.find_opt t.cells (flow, iface)) ~default:0
+
+let flow_total t f =
+  Hashtbl.fold (fun (f', _) v acc -> if f' = f then acc + v else acc) t.cells 0
+
+let iface_total t j =
+  Hashtbl.fold (fun (_, j') v acc -> if j' = j then acc + v else acc) t.cells 0
+
+let grand_total t = Hashtbl.fold (fun _ v acc -> acc + v) t.cells 0
+
+let cells t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let copy t = { kind = t.kind; cells = Hashtbl.copy t.cells }
+
+let since cur base ~flow ~iface =
+  cell cur ~flow ~iface - cell base ~flow ~iface
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun ((f, j), v) -> Format.fprintf ppf "flow=%d iface=%d %dB@," f j v)
+    (cells t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,79 @@
+type t =
+  | Enqueue of { flow : int; bytes : int }
+  | Drop of { flow : int; bytes : int }
+  | Serve of { flow : int; iface : int; bytes : int; deficit : float }
+  | Turn of { flow : int; iface : int }
+  | Flag_reset of { flow : int; iface : int }
+  | Iface_up of { iface : int }
+  | Iface_down of { iface : int }
+  | Flow_add of { flow : int; weight : float }
+  | Flow_remove of { flow : int }
+  | Weight_change of { flow : int; weight : float }
+  | Complete of { flow : int; iface : int; bytes : int }
+
+let flow = function
+  | Enqueue { flow; _ }
+  | Drop { flow; _ }
+  | Serve { flow; _ }
+  | Turn { flow; _ }
+  | Flag_reset { flow; _ }
+  | Flow_add { flow; _ }
+  | Flow_remove { flow }
+  | Weight_change { flow; _ }
+  | Complete { flow; _ } ->
+      Some flow
+  | Iface_up _ | Iface_down _ -> None
+
+let iface = function
+  | Serve { iface; _ }
+  | Turn { iface; _ }
+  | Flag_reset { iface; _ }
+  | Iface_up { iface }
+  | Iface_down { iface }
+  | Complete { iface; _ } ->
+      Some iface
+  | Enqueue _ | Drop _ | Flow_add _ | Flow_remove _ | Weight_change _ -> None
+
+let bytes = function
+  | Enqueue { bytes; _ }
+  | Drop { bytes; _ }
+  | Serve { bytes; _ }
+  | Complete { bytes; _ } ->
+      Some bytes
+  | Turn _ | Flag_reset _ | Iface_up _ | Iface_down _ | Flow_add _
+  | Flow_remove _ | Weight_change _ ->
+      None
+
+let label = function
+  | Enqueue _ -> "enqueue"
+  | Drop _ -> "drop"
+  | Serve _ -> "serve"
+  | Turn _ -> "turn"
+  | Flag_reset _ -> "flag_reset"
+  | Iface_up _ -> "iface_up"
+  | Iface_down _ -> "iface_down"
+  | Flow_add _ -> "flow_add"
+  | Flow_remove _ -> "flow_remove"
+  | Weight_change _ -> "weight_change"
+  | Complete _ -> "complete"
+
+let pp ppf ev =
+  match ev with
+  | Enqueue { flow; bytes } ->
+      Format.fprintf ppf "enqueue flow=%d %dB" flow bytes
+  | Drop { flow; bytes } -> Format.fprintf ppf "drop flow=%d %dB" flow bytes
+  | Serve { flow; iface; bytes; deficit } ->
+      Format.fprintf ppf "serve flow=%d iface=%d %dB deficit=%.1f" flow iface
+        bytes deficit
+  | Turn { flow; iface } -> Format.fprintf ppf "turn flow=%d iface=%d" flow iface
+  | Flag_reset { flow; iface } ->
+      Format.fprintf ppf "flag_reset flow=%d iface=%d" flow iface
+  | Iface_up { iface } -> Format.fprintf ppf "iface_up %d" iface
+  | Iface_down { iface } -> Format.fprintf ppf "iface_down %d" iface
+  | Flow_add { flow; weight } ->
+      Format.fprintf ppf "flow_add %d weight=%g" flow weight
+  | Flow_remove { flow } -> Format.fprintf ppf "flow_remove %d" flow
+  | Weight_change { flow; weight } ->
+      Format.fprintf ppf "weight_change %d weight=%g" flow weight
+  | Complete { flow; iface; bytes } ->
+      Format.fprintf ppf "complete flow=%d iface=%d %dB" flow iface bytes

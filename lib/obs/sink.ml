@@ -1,0 +1,11 @@
+type raw = Event.t -> unit
+type t = time:float -> Event.t -> unit
+
+let null : t = fun ~time:_ _ -> ()
+
+let tee (a : t) (b : t) : t =
+ fun ~time ev ->
+  a ~time ev;
+  b ~time ev
+
+let stamp ~clock (s : t) : raw = fun ev -> s ~time:(clock ()) ev

@@ -1,0 +1,31 @@
+(** Event sinks: where producers hand off the event stream.
+
+    Two shapes exist on purpose.  Schedulers in [midrr_core] have no
+    notion of time, so they call a {e raw} sink ([Event.t -> unit]);
+    platforms that own a clock (the simulator, the HTTP proxy, the
+    bridge) accept a {e timed} sink ({!t}) from their caller and
+    {!stamp} it with their clock before installing it on the scheduler.
+    Consumers are written once, against timed events.
+
+    The hook is zero-cost when disabled: producers store
+    [raw option] and guard event {e construction} on it, so with no sink
+    attached the only added work per decision is one mutable-field
+    match. *)
+
+type raw = Event.t -> unit
+(** What schedulers call: an event, no timestamp. *)
+
+type t = time:float -> Event.t -> unit
+(** What platforms and consumers exchange: events stamped with the
+    platform's clock (simulated seconds, or seconds since start for the
+    wall-clock bridge). *)
+
+val null : t
+(** Discards everything. *)
+
+val tee : t -> t -> t
+(** [tee a b] delivers every event to [a] then [b]. *)
+
+val stamp : clock:(unit -> float) -> t -> raw
+(** Close a timed sink over a clock, producing the raw sink a scheduler
+    can call. *)

@@ -1,6 +1,7 @@
 open Midrr_core
 module Rng = Midrr_stats.Rng
 module Timeseries = Midrr_stats.Timeseries
+module Counters = Midrr_obs.Counters
 
 type source =
   | Backlogged of { pkt_size : int }
@@ -44,24 +45,37 @@ type t = {
   window_depth : int;
   flows : (Types.flow_id, flow_info) Hashtbl.t;
   ifaces : (Types.iface_id, iface_info) Hashtbl.t;
-  cells : (Types.flow_id * Types.iface_id, int) Hashtbl.t;
+  cells : Counters.t;
+  sink : Midrr_obs.Sink.t option;
   mutable hooks : (time:float -> iface:Types.iface_id -> Packet.t -> unit) list;
 }
 
-let create ?(seed = 1) ?(bin = 1.0) ?(window_depth = 32) ~sched () =
+let create ?(seed = 1) ?(bin = 1.0) ?(window_depth = 32) ?sink ~sched () =
   if not (bin > 0.0) then invalid_arg "Netsim.create: bin <= 0";
   if window_depth <= 0 then invalid_arg "Netsim.create: window_depth <= 0";
-  {
-    engine = Engine.create ();
-    sched;
-    master_rng = Rng.create ~seed;
-    bin;
-    window_depth;
-    flows = Hashtbl.create 32;
-    ifaces = Hashtbl.create 8;
-    cells = Hashtbl.create 64;
-    hooks = [];
-  }
+  let t =
+    {
+      engine = Engine.create ();
+      sched;
+      master_rng = Rng.create ~seed;
+      bin;
+      window_depth;
+      flows = Hashtbl.create 32;
+      ifaces = Hashtbl.create 8;
+      cells = Counters.create ~kind:Completes ();
+      sink;
+      hooks = [];
+    }
+  in
+  (* Only a user-supplied sink turns scheduler emission on: the internal
+     service counters are fed directly from [complete], so sink-less runs
+     pay nothing per decision. *)
+  (match sink with
+  | None -> ()
+  | Some s ->
+      Sched_intf.Packed.subscribe sched
+        (Midrr_obs.Sink.stamp ~clock:(fun () -> Engine.now t.engine) s));
+  t
 
 let engine t = t.engine
 let now t = Engine.now t.engine
@@ -148,9 +162,13 @@ and try_start t ifc =
 
 and complete t ifc (pkt : Packet.t) =
   let time = now t in
-  let key = (pkt.flow, ifc.i_id) in
-  let prev = Option.value (Hashtbl.find_opt t.cells key) ~default:0 in
-  Hashtbl.replace t.cells key (prev + pkt.size);
+  Counters.add t.cells ~flow:pkt.flow ~iface:ifc.i_id ~bytes:pkt.size;
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+      s ~time
+        (Midrr_obs.Event.Complete
+           { flow = pkt.flow; iface = ifc.i_id; bytes = pkt.size }));
   Timeseries.record ifc.i_ts ~time ~bytes:pkt.size;
   List.iter (fun hook -> hook ~time ~iface:ifc.i_id pkt) t.hooks;
   match Hashtbl.find_opt t.flows pkt.flow with
@@ -328,13 +346,11 @@ let iface_utilization t j ~t0 ~t1 =
   let offered = Link.average ifc.profile ~t0 ~t1 in
   if offered <= 0.0 then 0.0 else carried /. offered
 
-let served_cell t ~flow ~iface =
-  Option.value (Hashtbl.find_opt t.cells (flow, iface)) ~default:0
+let served_cell t ~flow ~iface = Counters.cell t.cells ~flow ~iface
 
-type snapshot = { snap_time : float; snap_cells : (Types.flow_id * Types.iface_id, int) Hashtbl.t }
+type snapshot = { snap_time : float; snap_cells : Counters.t }
 
-let snapshot t =
-  { snap_time = now t; snap_cells = Hashtbl.copy t.cells }
+let snapshot t = { snap_time = now t; snap_cells = Counters.copy t.cells }
 
 let share_since t snap ~flows ~ifaces =
   let dt = now t -. snap.snap_time in
@@ -344,13 +360,8 @@ let share_since t snap ~flows ~ifaces =
       (fun f ->
         List.map
           (fun j ->
-            let cur =
-              Option.value (Hashtbl.find_opt t.cells (f, j)) ~default:0
-            in
-            let base =
-              Option.value (Hashtbl.find_opt snap.snap_cells (f, j)) ~default:0
-            in
-            8.0 *. Float.of_int (cur - base) /. dt)
+            let d = Counters.since t.cells snap.snap_cells ~flow:f ~iface:j in
+            8.0 *. Float.of_int d /. dt)
           ifaces)
       flows
   in

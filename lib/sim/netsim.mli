@@ -37,12 +37,19 @@ val create :
   ?seed:int ->
   ?bin:float ->
   ?window_depth:int ->
+  ?sink:Midrr_obs.Sink.t ->
   sched:Sched_intf.packed ->
   unit ->
   t
 (** [bin] is the width of rate-measurement bins in seconds (default 1.0);
     [window_depth] the number of packets kept queued for backlogged/finite
-    sources (default 32); [seed] drives stochastic sources (default 1). *)
+    sources (default 32); [seed] drives stochastic sources (default 1).
+
+    [sink] subscribes to the run's full event stream, stamped with
+    simulation time: the scheduler's decision events (the simulator
+    installs itself on [sched] via {!Sched_intf.Packed.subscribe}) plus a
+    [Complete] event per delivered packet.  Without it no scheduler
+    emission is enabled at all. *)
 
 val engine : t -> Engine.t
 

@@ -272,9 +272,9 @@ let make_sched spec =
   | Sched_wfq -> Wfq.packed (Wfq.create ())
   | Sched_rr -> Rrobin.packed (Rrobin.create ())
 
-let run t =
+let run ?sink t =
   let sched = make_sched t.sched in
-  let sim = Netsim.create ~bin:0.5 ~sched () in
+  let sim = Netsim.create ~bin:0.5 ?sink ~sched () in
   List.iter (fun (j, profile) -> Netsim.add_iface sim j profile) t.ifaces;
   let ids = Hashtbl.create 16 in
   List.iteri
@@ -365,7 +365,7 @@ let run t =
   in
   { windows; completions }
 
-let run_text text = Result.map run (parse text)
+let run_text ?sink text = Result.map (run ?sink) (parse text)
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

@@ -55,10 +55,12 @@ type report = {
 val parse : string -> (t, string) result
 (** Parse scenario text; the error names the offending line. *)
 
-val run : t -> report
-(** Build the simulation and execute it. *)
+val run : ?sink:Midrr_obs.Sink.t -> t -> report
+(** Build the simulation and execute it.  [sink] receives the run's full
+    event stream (see {!Netsim.create}); `midrr run --trace` streams it
+    to a JSONL file. *)
 
-val run_text : string -> (report, string) result
+val run_text : ?sink:Midrr_obs.Sink.t -> string -> (report, string) result
 (** [parse] then [run]. *)
 
 val pp_report : Format.formatter -> report -> unit

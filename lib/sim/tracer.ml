@@ -1,3 +1,5 @@
+module Recorder = Midrr_obs.Recorder
+
 type event = {
   time : float;
   iface : Midrr_core.Types.iface_id;
@@ -5,47 +7,47 @@ type event = {
   bytes : int;
 }
 
-type t = {
-  capacity : int;
-  buffer : event option array;
-  mutable next : int; (* write position *)
-  mutable total : int; (* events ever recorded *)
-}
+type t = Recorder.t
 
-let create ?(capacity = 65536) () =
-  if capacity <= 0 then invalid_arg "Tracer.create: capacity <= 0";
-  { capacity; buffer = Array.make capacity None; next = 0; total = 0 }
+let create ?(capacity = 65536) () = Recorder.create ~capacity ()
 
-let record t event =
-  t.buffer.(t.next) <- Some event;
-  t.next <- (t.next + 1) mod t.capacity;
-  t.total <- t.total + 1
+let record t (e : event) =
+  Recorder.record t ~time:e.time
+    (Midrr_obs.Event.Complete { flow = e.flow; iface = e.iface; bytes = e.bytes })
 
 let attach t sim =
   Netsim.on_complete sim (fun ~time ~iface pkt ->
       record t { time; iface; flow = pkt.Midrr_core.Packet.flow; bytes = pkt.size })
 
-let length t = Stdlib.min t.total t.capacity
+let length = Recorder.length
+let dropped = Recorder.dropped
 
-let dropped t = Stdlib.max 0 (t.total - t.capacity)
+(* Everything below folds directly over the ring buffer: no intermediate
+   event list is built, whatever the buffer size. *)
 
-let events t =
-  let n = length t in
-  let start = if t.total <= t.capacity then 0 else t.next in
-  List.init n (fun i ->
-      Option.get t.buffer.((start + i) mod t.capacity))
+let of_entry (e : Recorder.entry) =
+  match e.event with
+  | Midrr_obs.Event.Complete { flow; iface; bytes } ->
+      Some { time = e.time; iface; flow; bytes }
+  | _ -> None
+
+let fold t ~init ~f =
+  Recorder.fold t ~init ~f:(fun acc e ->
+      match of_entry e with Some ev -> f acc ev | None -> acc)
+
+let events t = List.rev (fold t ~init:[] ~f:(fun acc e -> e :: acc))
 
 let between t ~t0 ~t1 =
-  List.filter (fun e -> e.time >= t0 && e.time < t1) (events t)
+  List.rev
+    (fold t ~init:[] ~f:(fun acc e ->
+         if e.time >= t0 && e.time < t1 then e :: acc else acc))
 
 let tally key_of t =
   let acc = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
+  fold t ~init:() ~f:(fun () e ->
       let k = key_of e in
       Hashtbl.replace acc k
-        (e.bytes + Option.value (Hashtbl.find_opt acc k) ~default:0))
-    (events t);
+        (e.bytes + Option.value (Hashtbl.find_opt acc k) ~default:0));
   Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
@@ -54,13 +56,12 @@ let bytes_per_flow t = tally (fun e -> e.flow) t
 let bytes_per_iface t = tally (fun e -> e.iface) t
 
 let interleaving t ~iface =
-  let on_iface = List.filter (fun e -> e.iface = iface) (events t) in
-  List.fold_left
-    (fun acc e ->
-      match acc with
-      | prev :: _ when prev = e.flow -> acc
-      | _ -> e.flow :: acc)
-    [] on_iface
+  fold t ~init:[] ~f:(fun acc e ->
+      if e.iface <> iface then acc
+      else
+        match acc with
+        | prev :: _ when prev = e.flow -> acc
+        | _ -> e.flow :: acc)
   |> List.rev
 
 let to_csv t ~path =
@@ -69,16 +70,12 @@ let to_csv t ~path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc "time,iface,flow,bytes\n";
-      List.iter
-        (fun e ->
-          Printf.fprintf oc "%.9f,%d,%d,%d\n" e.time e.iface e.flow e.bytes)
-        (events t))
+      fold t ~init:() ~f:(fun () e ->
+          Printf.fprintf oc "%.9f,%d,%d,%d\n" e.time e.iface e.flow e.bytes))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d events (%d dropped)@," (length t) (dropped t);
-  List.iter
-    (fun e ->
+  fold t ~init:() ~f:(fun () e ->
       Format.fprintf ppf "%.6f iface=%d flow=%d %dB@," e.time e.iface e.flow
-        e.bytes)
-    (events t);
+        e.bytes);
   Format.fprintf ppf "@]"

@@ -3,7 +3,13 @@
     Attach a tracer to a {!Netsim} run to capture per-packet delivery
     events (time, interface, flow, bytes) in a bounded ring buffer — the
     moral equivalent of `tcpdump` on the simulated device.  Useful for
-    debugging scheduling decisions and for exporting raw event logs. *)
+    debugging scheduling decisions and for exporting raw event logs.
+
+    @deprecated This module is now a compatibility wrapper over
+    {!Midrr_obs.Recorder}, which records the {e full} typed event stream
+    (decisions, turns, flag resets, topology changes) rather than only
+    completions, and exposes allocation-free folds.  New code should pass
+    a [Recorder]'s sink to [Netsim.create ?sink] directly. *)
 
 type event = {
   time : float;

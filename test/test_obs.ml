@@ -1,0 +1,259 @@
+(* Unit tests for the observability bus (lib/obs) and its wiring into the
+   schedulers: event accessors, sink combinators, the ring-buffer
+   recorder, the per-cell counters, the JSONL export format, and the
+   subscribe/tee semantics on a live scheduler. *)
+
+open Midrr_core
+module Event = Midrr_obs.Event
+module Sink = Midrr_obs.Sink
+module Recorder = Midrr_obs.Recorder
+module Counters = Midrr_obs.Counters
+module Jsonl = Midrr_obs.Jsonl
+
+let check = Alcotest.check
+
+(* --- events ------------------------------------------------------------- *)
+
+let test_event_accessors () =
+  let serve = Event.Serve { flow = 3; iface = 1; bytes = 1500; deficit = 2.5 } in
+  check Alcotest.(option int) "serve flow" (Some 3) (Event.flow serve);
+  check Alcotest.(option int) "serve iface" (Some 1) (Event.iface serve);
+  check Alcotest.(option int) "serve bytes" (Some 1500) (Event.bytes serve);
+  let up = Event.Iface_up { iface = 7 } in
+  check Alcotest.(option int) "iface_up flow" None (Event.flow up);
+  check Alcotest.(option int) "iface_up iface" (Some 7) (Event.iface up);
+  check Alcotest.(option int) "iface_up bytes" None (Event.bytes up);
+  let turn = Event.Turn { flow = 2; iface = 0 } in
+  check Alcotest.(option int) "turn bytes" None (Event.bytes turn)
+
+let test_event_labels () =
+  let cases =
+    [
+      (Event.Enqueue { flow = 0; bytes = 1 }, "enqueue");
+      (Event.Drop { flow = 0; bytes = 1 }, "drop");
+      (Event.Serve { flow = 0; iface = 0; bytes = 1; deficit = 0.0 }, "serve");
+      (Event.Turn { flow = 0; iface = 0 }, "turn");
+      (Event.Flag_reset { flow = 0; iface = 0 }, "flag_reset");
+      (Event.Iface_up { iface = 0 }, "iface_up");
+      (Event.Iface_down { iface = 0 }, "iface_down");
+      (Event.Flow_add { flow = 0; weight = 1.0 }, "flow_add");
+      (Event.Flow_remove { flow = 0 }, "flow_remove");
+      (Event.Weight_change { flow = 0; weight = 1.0 }, "weight_change");
+      (Event.Complete { flow = 0; iface = 0; bytes = 1 }, "complete");
+    ]
+  in
+  List.iter
+    (fun (ev, want) ->
+      check Alcotest.string ("label " ^ want) want (Event.label ev))
+    cases
+
+(* --- sinks -------------------------------------------------------------- *)
+
+let test_sink_tee_and_stamp () =
+  let seen_a = ref [] and seen_b = ref [] in
+  let a ~time ev = seen_a := (time, ev) :: !seen_a in
+  let b ~time ev = seen_b := (time, ev) :: !seen_b in
+  let teed = Sink.tee a b in
+  teed ~time:1.0 (Event.Iface_up { iface = 0 });
+  teed ~time:2.0 (Event.Iface_down { iface = 0 });
+  check Alcotest.int "tee delivers to a" 2 (List.length !seen_a);
+  check Alcotest.int "tee delivers to b" 2 (List.length !seen_b);
+  (* stamp turns a timed sink into a raw one using the given clock *)
+  let now = ref 5.0 in
+  let raw = Sink.stamp ~clock:(fun () -> !now) a in
+  raw (Event.Iface_up { iface = 1 });
+  now := 6.5;
+  raw (Event.Iface_up { iface = 2 });
+  match !seen_a with
+  | (t2, _) :: (t1, _) :: _ ->
+      check (Alcotest.float 1e-9) "second stamp" 6.5 t2;
+      check (Alcotest.float 1e-9) "first stamp" 5.0 t1
+  | _ -> Alcotest.fail "expected stamped events"
+
+(* --- recorder ----------------------------------------------------------- *)
+
+let test_recorder_fold_and_wrap () =
+  let r = Recorder.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Recorder.record r ~time:(float_of_int i)
+      (Event.Enqueue { flow = i; bytes = i * 100 })
+  done;
+  check Alcotest.int "length capped" 4 (Recorder.length r);
+  check Alcotest.int "total counts everything" 10 (Recorder.total r);
+  check Alcotest.int "dropped = total - retained" 6 (Recorder.dropped r);
+  (* oldest-first over the retained window: flows 7..10 *)
+  let flows =
+    Recorder.fold r ~init:[] ~f:(fun acc (e : Recorder.entry) ->
+        match Event.flow e.event with Some f -> f :: acc | None -> acc)
+  in
+  check Alcotest.(list int) "retained, oldest first" [ 10; 9; 8; 7 ] flows;
+  let windowed =
+    Recorder.fold_between r ~t0:8.0 ~t1:10.0 ~init:0 ~f:(fun n _ -> n + 1)
+  in
+  check Alcotest.int "fold_between is [t0, t1)" 2 windowed;
+  Recorder.clear r;
+  check Alcotest.int "clear empties" 0 (Recorder.length r)
+
+let test_recorder_as_sink () =
+  let r = Recorder.create () in
+  let s = Recorder.sink r in
+  s ~time:0.25 (Event.Complete { flow = 1; iface = 0; bytes = 999 });
+  check Alcotest.int "sink records" 1 (Recorder.length r);
+  match Recorder.entries r with
+  | [ e ] ->
+      check (Alcotest.float 1e-9) "time kept" 0.25 e.time;
+      check Alcotest.(option int) "bytes kept" (Some 999) (Event.bytes e.event)
+  | _ -> Alcotest.fail "expected one entry"
+
+(* --- counters ----------------------------------------------------------- *)
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.add c ~flow:0 ~iface:0 ~bytes:100;
+  Counters.add c ~flow:0 ~iface:1 ~bytes:50;
+  Counters.add c ~flow:1 ~iface:0 ~bytes:25;
+  Counters.add c ~flow:0 ~iface:0 ~bytes:100;
+  check Alcotest.int "cell accumulates" 200 (Counters.cell c ~flow:0 ~iface:0);
+  check Alcotest.int "flow_total" 250 (Counters.flow_total c 0);
+  check Alcotest.int "iface_total" 225 (Counters.iface_total c 0);
+  check Alcotest.int "grand_total" 275 (Counters.grand_total c);
+  check
+    Alcotest.(list (pair (pair int int) int))
+    "cells sorted"
+    [ ((0, 0), 200); ((0, 1), 50); ((1, 0), 25) ]
+    (Counters.cells c);
+  let base = Counters.copy c in
+  Counters.add c ~flow:0 ~iface:0 ~bytes:40;
+  check Alcotest.int "copy is independent" 200
+    (Counters.cell base ~flow:0 ~iface:0);
+  check Alcotest.int "since = cur - base" 40
+    (Counters.since c base ~flow:0 ~iface:0)
+
+let test_counters_sink_kinds () =
+  let serves = Counters.create ~kind:Counters.Serves () in
+  let completes = Counters.create ~kind:Counters.Completes () in
+  let deliver c ev = Counters.sink c ~time:0.0 ev in
+  let both ev =
+    deliver serves ev;
+    deliver completes ev
+  in
+  both (Event.Serve { flow = 0; iface = 0; bytes = 10; deficit = 0.0 });
+  both (Event.Complete { flow = 0; iface = 0; bytes = 7 });
+  both (Event.Enqueue { flow = 0; bytes = 100 });
+  check Alcotest.int "Serves counts serve events only" 10
+    (Counters.grand_total serves);
+  check Alcotest.int "Completes counts complete events only" 7
+    (Counters.grand_total completes)
+
+(* --- jsonl -------------------------------------------------------------- *)
+
+let test_jsonl_format () =
+  let line =
+    Jsonl.to_string ~time:1.5
+      (Event.Serve { flow = 2; iface = 1; bytes = 1500; deficit = 3.0 })
+  in
+  check Alcotest.string "serve line"
+    "{\"t\":1.500000000,\"ev\":\"serve\",\"flow\":2,\"iface\":1,\"bytes\":1500,\"deficit\":3.000}"
+    line;
+  let line =
+    Jsonl.to_string ~time:0.0 (Event.Flow_add { flow = 4; weight = 2.5 })
+  in
+  check Alcotest.string "flow_add line"
+    "{\"t\":0.000000000,\"ev\":\"flow_add\",\"flow\":4,\"weight\":2.5}" line;
+  let line = Jsonl.to_string ~time:0.125 (Event.Iface_down { iface = 3 }) in
+  check Alcotest.string "iface_down line"
+    "{\"t\":0.125000000,\"ev\":\"iface_down\",\"iface\":3}" line
+
+(* --- scheduler wiring ---------------------------------------------------- *)
+
+(* A scheduler with no sink stays silent and costs nothing; installing
+   and tee-ing subscribers delivers every event to each of them. *)
+let test_scheduler_emission_and_subscribe () =
+  let sched = Midrr.create () in
+  check Alcotest.bool "no sink by default" true (Midrr.sink sched = None);
+  let p = Midrr.packed sched in
+  let first = ref [] and second = ref 0 in
+  Sched_intf.Packed.subscribe p (fun ev -> first := ev :: !first);
+  Drr_engine.add_iface sched 0;
+  Drr_engine.add_flow sched ~flow:5 ~weight:1.0 ~allowed:[ 0 ];
+  (* second subscriber arrives later and must tee, not replace *)
+  Sched_intf.Packed.subscribe p (fun _ -> incr second);
+  ignore
+    (Drr_engine.enqueue sched (Packet.create ~flow:5 ~size:700 ~arrival:0.0));
+  (match Drr_engine.next_packet sched 0 with
+  | Some pkt -> check Alcotest.int "served the packet" 700 pkt.size
+  | None -> Alcotest.fail "expected a packet");
+  let labels = List.rev_map Event.label !first in
+  check Alcotest.bool "first subscriber saw iface_up" true
+    (List.mem "iface_up" labels);
+  check Alcotest.bool "first subscriber saw flow_add" true
+    (List.mem "flow_add" labels);
+  check Alcotest.bool "first subscriber saw enqueue" true
+    (List.mem "enqueue" labels);
+  check Alcotest.bool "first subscriber saw serve" true
+    (List.mem "serve" labels);
+  check Alcotest.bool "second subscriber saw post-subscribe events" true
+    (!second > 0);
+  (* the serve event carries the decision's full context *)
+  (match
+     List.find_opt (function Event.Serve _ -> true | _ -> false) !first
+   with
+  | Some (Event.Serve { flow; iface; bytes; _ }) ->
+      check Alcotest.int "serve flow" 5 flow;
+      check Alcotest.int "serve iface" 0 iface;
+      check Alcotest.int "serve bytes" 700 bytes
+  | _ -> Alcotest.fail "expected a serve event");
+  (* detaching restores silence *)
+  Midrr.set_sink sched None;
+  let before = List.length !first in
+  ignore
+    (Drr_engine.enqueue sched (Packet.create ~flow:5 ~size:700 ~arrival:0.0));
+  check Alcotest.int "detached sink sees nothing" before (List.length !first)
+
+(* Dropped packets (unknown flow) are observable. *)
+let test_drop_event () =
+  let sched = Midrr.create () in
+  let dropped = ref None in
+  Midrr.set_sink sched
+    (Some
+       (function
+       | Event.Drop { flow; bytes } -> dropped := Some (flow, bytes)
+       | _ -> ()));
+  Drr_engine.add_iface sched 0;
+  ignore
+    (Drr_engine.enqueue sched (Packet.create ~flow:99 ~size:123 ~arrival:0.0));
+  match !dropped with
+  | Some (flow, bytes) ->
+      check Alcotest.int "drop flow" 99 flow;
+      check Alcotest.int "drop bytes" 123 bytes
+  | None -> Alcotest.fail "expected a drop event"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "accessors" `Quick test_event_accessors;
+          Alcotest.test_case "labels" `Quick test_event_labels;
+        ] );
+      ( "sink",
+        [ Alcotest.test_case "tee and stamp" `Quick test_sink_tee_and_stamp ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "fold and wrap" `Quick test_recorder_fold_and_wrap;
+          Alcotest.test_case "as sink" `Quick test_recorder_as_sink;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "tallies" `Quick test_counters;
+          Alcotest.test_case "sink kinds" `Quick test_counters_sink_kinds;
+        ] );
+      ( "jsonl",
+        [ Alcotest.test_case "format" `Quick test_jsonl_format ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "emission and subscribe" `Quick
+            test_scheduler_emission_and_subscribe;
+          Alcotest.test_case "drop event" `Quick test_drop_event;
+        ] );
+    ]

@@ -207,6 +207,172 @@ let prop_twins_equal =
       let a = rates.(0) and b = rates.(n) in
       Float.abs (a -. b) <= 0.10 *. Float.max a 1e5)
 
+(* --- churn properties ----------------------------------------------------- *)
+
+(* Randomized flow churn: flows join and leave mid-run while everyone who
+   remains stays backlogged.  Leaves pick from whoever is alive when the
+   event fires; joins always use a fresh flow id (the simulator keeps
+   measurement history for departed flows, so ids are never recycled).
+   The final window is measured after the last change has settled and is
+   compared against the reference allocation for the surviving set. *)
+
+type churn_op =
+  | Leave of int  (** index into the currently-alive list (mod length) *)
+  | Join of { weight : float; allowed : bool array }
+
+type churn_plan = { base : topo; churn : (float * churn_op) list }
+
+let churn_gen =
+  QCheck.Gen.(
+    let* base = topo_gen ~uniform:false in
+    let m = Array.length base.capacities in
+    let op_gen =
+      let* leave = bool in
+      if leave then
+        let* k = int_range 0 9 in
+        return (Leave k)
+      else
+        let* weight = float_range 0.5 4.0 in
+        let* allowed = array_size (return m) bool in
+        let* fix = int_range 0 (m - 1) in
+        if Array.for_all not allowed then allowed.(fix) <- true;
+        return (Join { weight; allowed })
+    in
+    let* churn =
+      list_size (int_range 1 6)
+        (let* t = float_range 2.0 12.0 in
+         let* op = op_gen in
+         return (t, op))
+    in
+    return { base; churn })
+
+let churn_print p =
+  let op_str = function
+    | Leave k -> Printf.sprintf "leave#%d" k
+    | Join { weight; allowed } ->
+        Printf.sprintf "join(w=%.2f,%s)" weight
+          (String.concat ""
+             (List.map
+                (fun b -> if b then "1" else "0")
+                (Array.to_list allowed)))
+  in
+  Printf.sprintf "%s\nchurn: %s" (topo_print p.base)
+    (String.concat "; "
+       (List.map (fun (t, op) -> Printf.sprintf "%.1fs %s" t (op_str op)) p.churn))
+
+let churn_arb = QCheck.make ~print:churn_print churn_gen
+
+(* Apply the plan; return the survivors' measured rates and share matrix
+   over the settled window, plus the reference instance for the surviving
+   set.  [None] when every flow has left. *)
+let run_churn ?(make_sched = fun () -> Midrr.packed (Midrr.create ())) plan =
+  let n = Array.length plan.base.weights in
+  let m = Array.length plan.base.capacities in
+  let sched = make_sched () in
+  let sim = Netsim.create ~sched () in
+  for j = 0 to m - 1 do
+    Netsim.add_iface sim j (Link.constant (Types.mbps plan.base.capacities.(j)))
+  done;
+  let add ~at id ~weight ~row =
+    let allowed = List.filter (fun j -> row.(j)) (List.init m Fun.id) in
+    Netsim.add_flow sim ~at id ~weight ~allowed
+      (Netsim.Backlogged { pkt_size = 1000 })
+  in
+  (* The alive set evolves deterministically from the plan, so the whole
+     schedule can be registered up front. *)
+  let live =
+    ref
+      (List.init n (fun i -> (i, plan.base.weights.(i), plan.base.allowed.(i))))
+  in
+  List.iter (fun (id, weight, row) -> add ~at:0.0 id ~weight ~row) !live;
+  let next_id = ref n in
+  List.iter
+    (fun (t, op) ->
+      match op with
+      | Leave _ when !live = [] -> ()
+      | Leave k ->
+          let idx = k mod List.length !live in
+          let id, _, _ = List.nth !live idx in
+          Netsim.remove_flow sim ~at:t id;
+          live := List.filteri (fun i _ -> i <> idx) !live
+      | Join { weight; allowed } ->
+          let id = !next_id in
+          incr next_id;
+          add ~at:t id ~weight ~row:allowed;
+          live := !live @ [ (id, weight, allowed) ])
+    (List.sort (fun (a, _) (b, _) -> Float.compare a b) plan.churn);
+  Netsim.run sim ~until:18.0;
+  let snap = Netsim.snapshot sim in
+  Netsim.run sim ~until:38.0;
+  match !live with
+  | [] -> None
+  | survivors ->
+      let ids = List.map (fun (id, _, _) -> id) survivors in
+      let share =
+        Netsim.share_since sim snap ~flows:ids ~ifaces:(List.init m Fun.id)
+      in
+      let rates =
+        Array.map (fun row -> Array.fold_left ( +. ) 0.0 row) share
+      in
+      let inst =
+        Instance.make
+          ~weights:(Array.of_list (List.map (fun (_, w, _) -> w) survivors))
+          ~capacities:(Array.map Types.mbps plan.base.capacities)
+          ~allowed:(Array.of_list (List.map (fun (_, _, r) -> r) survivors))
+      in
+      Some (rates, share, inst)
+
+(* Counter-flag miDRR reconverges to the surviving set's max-min
+   allocation after arbitrary churn. *)
+let prop_churn_counter_tracks_maxmin =
+  QCheck.Test.make ~count:15
+    ~name:"counter-flag midrr tracks max-min after flow churn"
+    churn_arb (fun plan ->
+      match
+        run_churn
+          ~make_sched:(fun () -> Midrr.packed (Midrr.create ~counter_max:8 ()))
+          plan
+      with
+      | None -> true
+      | Some (rates, _, inst) ->
+          let reference = Maxmin.solve inst in
+          Array.for_all Fun.id
+            (Array.mapi
+               (fun i r ->
+                 let want = reference.Maxmin.rates.(i) in
+                 Float.abs (r -. want) <= 0.15 *. Float.max want 1e5)
+               rates))
+
+(* The Per_send flag policy keeps the hard guarantees (preferences, no
+   starvation) under the same churn schedules; its rates may deviate from
+   max-min, so only the invariants are asserted. *)
+let prop_churn_per_send_invariants =
+  QCheck.Test.make ~count:15
+    ~name:"per-send flag policy keeps invariants under churn"
+    churn_arb (fun plan ->
+      match
+        run_churn
+          ~make_sched:(fun () ->
+            Midrr.packed (Midrr.create ~flag_policy:Drr_engine.Per_send ()))
+          plan
+      with
+      | None -> true
+      | Some (rates, share, inst) ->
+          let prefs_ok =
+            Array.for_all Fun.id
+              (Array.mapi
+                 (fun i row ->
+                   Array.for_all Fun.id
+                     (Array.mapi
+                        (fun j b ->
+                          (List.mem j (Instance.allowed_ifaces inst i)
+                          || b <= 0.0)
+                          && b >= 0.0)
+                        row))
+                 share)
+          in
+          prefs_ok && Array.for_all (fun r -> r > 0.0) rates)
+
 (* Scaling all weights together does not change the allocation. *)
 let prop_weight_scale_invariant =
   QCheck.Test.make ~count:15 ~name:"solver invariant under weight scaling"
@@ -455,12 +621,8 @@ let prop_cdf_monotone =
 
 (* Engine fuzz: a random op sequence never raises unexpectedly, and the
    flows an interface serves are always eligible and backlogged. *)
-let prop_engine_fuzz =
-  let gen = QCheck.Gen.(list_size (int_range 10 200) (int_range 0 99)) in
-  QCheck.Test.make ~count:60 ~name:"engine fuzz: invariants under random ops"
-    (QCheck.make gen) (fun ops ->
-      let m = Midrr.create () in
-      let n_flows = 4 and n_ifaces = 3 in
+let engine_fuzz_body m ops =
+  let n_flows = 4 and n_ifaces = 3 in
       for j = 0 to n_ifaces - 1 do
         Drr_engine.add_iface m j
       done;
@@ -510,7 +672,31 @@ let prop_engine_fuzz =
               if not (Drr_engine.is_backlogged m f) then ok := false)
             (Drr_engine.ring_flows m j))
         (Drr_engine.ifaces m);
-      !ok)
+      !ok
+
+let prop_engine_fuzz =
+  let gen = QCheck.Gen.(list_size (int_range 10 200) (int_range 0 99)) in
+  QCheck.Test.make ~count:60 ~name:"engine fuzz: invariants under random ops"
+    (QCheck.make gen) (fun ops -> engine_fuzz_body (Midrr.create ()) ops)
+
+(* Same fuzz, but across the engine's configuration space: both flag
+   policies and counter depths beyond the paper's single bit. *)
+let prop_engine_fuzz_variants =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 10 200) (int_range 0 99))
+        bool (int_range 1 8))
+  in
+  QCheck.Test.make ~count:40
+    ~name:"engine fuzz across flag policies and counter depths"
+    (QCheck.make gen) (fun (ops, per_send, counter_max) ->
+      let m =
+        Midrr.create
+          ~flag_policy:(if per_send then Drr_engine.Per_send else Drr_engine.Per_turn)
+          ~counter_max ()
+      in
+      engine_fuzz_body m ops)
 
 let () =
   (* Fixed generator seed: the suite is deterministic run to run; override
@@ -533,6 +719,8 @@ let () =
             prop_counter_flags_tight;
             prop_reference_uniform;
             prop_twins_equal;
+            prop_churn_counter_tracks_maxmin;
+            prop_churn_per_send_invariants;
           ] );
       ( "solver",
         List.map to_alcotest
@@ -553,5 +741,6 @@ let () =
             prop_maxflow_conservation;
             prop_cdf_monotone;
             prop_engine_fuzz;
+            prop_engine_fuzz_variants;
           ] );
     ]
