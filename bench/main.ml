@@ -391,6 +391,152 @@ let bench_obs_overhead () =
   close_out oc;
   Format.printf "  written to BENCH_obs.json@."
 
+(* --- Part 2d: fast-path sweep ------------------------------------------ *)
+
+(* Decisions/sec of the two DRR engines as the *total* flow population
+   grows with the *active* (backlogged) population held small — the regime
+   the O(active) rewrite targets: a phone with thousands of registered
+   flows but a handful transmitting.  The workload maximizes ring churn
+   (each served flow drains and is immediately re-enqueued, so every
+   decision exercises unlink + relink + cursor repositioning), which is
+   where the intrusive rings and dense slot arrays beat the reference
+   engine's allocated ring nodes and hashtable lookups.  Results go to
+   BENCH_fastpath.json; the CI smoke job checks it parses. *)
+
+module type ENGINE = sig
+  type mode = Plain | Service_flags
+  type flag_policy = Per_turn | Per_send
+  type t
+
+  val create :
+    ?base_quantum:int ->
+    ?queue_capacity:int ->
+    ?flag_policy:flag_policy ->
+    ?counter_max:int ->
+    mode ->
+    t
+
+  val add_iface : t -> int -> unit
+  val add_flow : t -> flow:int -> weight:float -> allowed:int list -> unit
+  val enqueue : t -> Packet.t -> bool
+  val next_packet : t -> int -> Packet.t option
+end
+
+let fastpath_engines : (string * (module ENGINE)) list =
+  [ ("fast", (module Drr_engine)); ("ref", (module Drr_engine_ref)) ]
+
+(* One measurement: [total] registered flows, [active] of them backlogged
+   (spread evenly across the id space), [decisions] serve decisions round-
+   robined over the interfaces.  Returns ns per decision. *)
+let fastpath_measure (module En : ENGINE) ~total ~active ~n_ifaces ~decisions =
+  let t = En.create En.Service_flags in
+  let all_ifaces = List.init n_ifaces Fun.id in
+  for j = 0 to n_ifaces - 1 do
+    En.add_iface t j
+  done;
+  for f = 0 to total - 1 do
+    En.add_flow t ~flow:f ~weight:1.0 ~allowed:all_ifaces
+  done;
+  let stride = total / active in
+  for i = 0 to active - 1 do
+    ignore
+      (En.enqueue t (Packet.create ~flow:(i * stride) ~size:1000 ~arrival:0.0))
+  done;
+  let serve_one j =
+    match En.next_packet t j with
+    | Some pkt ->
+        (* The served flow drained (one packet per flow): re-enqueueing it
+           replays the drain/reactivate transition every decision. *)
+        ignore
+          (En.enqueue t (Packet.create ~flow:pkt.flow ~size:1000 ~arrival:0.0))
+    | None -> ()
+  in
+  (* Warm up structures and branch predictors outside the timed window. *)
+  for d = 0 to (decisions / 10) - 1 do
+    serve_one (d mod n_ifaces)
+  done;
+  let t0 = Monotonic_clock.now () in
+  for d = 0 to decisions - 1 do
+    serve_one (d mod n_ifaces)
+  done;
+  let t1 = Monotonic_clock.now () in
+  Int64.to_float (Int64.sub t1 t0) /. float_of_int decisions
+
+let bench_fastpath () =
+  section "Fast path: decisions/sec vs total flows at small active sets";
+  let n_ifaces = 4 in
+  let decisions = if quick then 20_000 else 200_000 in
+  let totals = if quick then [ 64; 1_000 ] else [ 64; 1_000; 10_000 ] in
+  let fractions = [ 0.01; 0.05 ] in
+  let grid =
+    List.concat_map
+      (fun total ->
+        List.filter_map
+          (fun frac ->
+            let active =
+              Stdlib.max 2 (int_of_float (float_of_int total *. frac))
+            in
+            if active >= total then None else Some (total, active))
+          fractions)
+      totals
+    |> List.sort_uniq compare
+  in
+  Format.printf "  %-6s %10s %10s %14s %16s@." "engine" "flows" "active"
+    "ns/decision" "decisions/sec";
+  let rows =
+    List.concat_map
+      (fun (total, active) ->
+        List.map
+          (fun (label, engine) ->
+            let ns =
+              fastpath_measure engine ~total ~active ~n_ifaces ~decisions
+            in
+            Format.printf "  %-6s %10d %10d %14.1f %16.0f@." label total
+              active ns (1e9 /. ns);
+            (label, total, active, ns))
+          fastpath_engines)
+      grid
+  in
+  (* Headline numbers: scaling flatness of the fast engine and its speedup
+     over the reference at the largest total / smallest active point. *)
+  let ns_of label total active =
+    List.find_map
+      (fun (l, t, a, ns) ->
+        if l = label && t = total && a = active then Some ns else None)
+      rows
+  in
+  let min_total = List.fold_left (fun m (t, _) -> Stdlib.min m t) max_int grid
+  and max_total = List.fold_left (fun m (t, _) -> Stdlib.max m t) 0 grid in
+  let small_active total =
+    List.filter_map (fun (t, a) -> if t = total then Some a else None) grid
+    |> List.fold_left Stdlib.min max_int
+  in
+  (match
+     ( ns_of "fast" min_total (small_active min_total),
+       ns_of "fast" max_total (small_active max_total),
+       ns_of "ref" max_total (small_active max_total) )
+   with
+  | Some ns_small, Some ns_big, Some ns_ref ->
+      Format.printf
+        "  fast-engine scaling %dx flows: %.2fx ns/decision (gate: <= 2x)@."
+        (max_total / min_total) (ns_big /. ns_small);
+      Format.printf "  speedup over ref at %d flows / %d active: %.2fx@."
+        max_total (small_active max_total) (ns_ref /. ns_big)
+  | _ -> ());
+  let oc = open_out "BENCH_fastpath.json" in
+  Printf.fprintf oc "{\"decisions\":%d,\"n_ifaces\":%d,\"results\":[" decisions
+    n_ifaces;
+  List.iteri
+    (fun i (label, total, active, ns) ->
+      Printf.fprintf oc
+        "%s{\"engine\":%S,\"total_flows\":%d,\"active_flows\":%d,\"ns_per_decision\":%.1f,\"decisions_per_sec\":%.0f}"
+        (if i = 0 then "" else ",")
+        label total active ns (1e9 /. ns))
+    rows;
+  Printf.fprintf oc "]}\n";
+  close_out oc;
+  Format.printf "  written to BENCH_fastpath.json@."
+
 let extended_studies () =
   section "Granularity ablation (HTTP chunk size vs max-min, paper 6.4)";
   Format.printf "%a@." E.Granularity.print (E.Granularity.run ());
@@ -403,11 +549,18 @@ let extended_studies () =
   section "Aggregation: one flow over 1-16 interfaces";
   Format.printf "%a@." E.Aggregation.print (E.Aggregation.run ())
 
+let fastpath_only =
+  Array.exists (fun a -> a = "--fastpath-only") Sys.argv
+
 let () =
-  reproduce_figures ();
-  ablation_flag_policy ();
-  ablation_adversarial ();
-  extended_studies ();
-  run_benchmarks ();
-  bench_obs_overhead ();
+  if fastpath_only then bench_fastpath ()
+  else begin
+    reproduce_figures ();
+    ablation_flag_policy ();
+    ablation_adversarial ();
+    extended_studies ();
+    run_benchmarks ();
+    bench_obs_overhead ();
+    bench_fastpath ()
+  end;
   Format.printf "@.done.@."

@@ -68,7 +68,7 @@ let run_aggregation () =
   Format.fprintf ppf "%a@." Midrr_experiments.Aggregation.print
     (Midrr_experiments.Aggregation.run ())
 
-let run_scenario ?trace path =
+let run_scenario ?trace ~engine path =
   let text = In_channel.with_open_text path In_channel.input_all in
   let finish, sink =
     (* Stream events straight to the file: a full run can emit far more
@@ -84,7 +84,7 @@ let run_scenario ?trace path =
   in
   let result =
     Fun.protect ~finally:finish (fun () ->
-        Midrr_sim.Scenario.run_text ?sink text)
+        Midrr_sim.Scenario.run_text ?sink ~engine text)
   in
   match result with
   | Ok report ->
@@ -219,12 +219,31 @@ let trace =
           "Stream the run's scheduler-event trace (enqueues, serves, turns, \
            flag resets, completions...) to $(docv) as JSON lines.")
 
+let engine =
+  let engine_conv =
+    Arg.enum
+      [
+        ("fast", Midrr_sim.Scenario.Engine_fast);
+        ("ref", Midrr_sim.Scenario.Engine_ref);
+      ]
+  in
+  Arg.(
+    value
+    & opt engine_conv Midrr_sim.Scenario.Engine_fast
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "DRR/miDRR engine implementation: $(b,fast) (the default \
+           O(active-flows) engine) or $(b,ref) (the reference \
+           executable-specification engine).  Both produce identical \
+           schedules; $(b,ref) exists for cross-checking and benchmarking.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a declarative scenario file and print its measurements")
-    Term.(const (fun trace path -> run_scenario ?trace path) $ trace
-          $ scenario_file)
+    Term.(
+      const (fun trace engine path -> run_scenario ?trace ~engine path)
+      $ trace $ engine $ scenario_file)
 
 let main =
   let doc = "miDRR reproduction: scheduling packets over multiple interfaces" in

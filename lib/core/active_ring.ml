@@ -1,0 +1,85 @@
+type 'a t = { mutable head : 'a option; mutable length : int }
+
+let create () = { head = None; length = 0 }
+
+let is_empty t = t.length = 0
+
+let length t = t.length
+
+let head t = t.head
+
+module type ELT = sig
+  type t
+
+  val prev : t -> t
+  val set_prev : t -> t -> unit
+  val next : t -> t
+  val set_next : t -> t -> unit
+  val linked : t -> bool
+  val set_linked : t -> bool -> unit
+end
+
+module Make (E : ELT) = struct
+  let link_singleton e =
+    E.set_prev e e;
+    E.set_next e e;
+    E.set_linked e true
+
+  (* Splice [e] between [a] and its successor [b = E.next a]. *)
+  let splice_after a e =
+    let b = E.next a in
+    E.set_prev e a;
+    E.set_next e b;
+    E.set_next a e;
+    E.set_prev b e;
+    E.set_linked e true
+
+  let push_back t e =
+    if E.linked e then invalid_arg "Active_ring.push_back: already linked";
+    (match t.head with
+    | None ->
+        link_singleton e;
+        t.head <- Some e
+    | Some head -> splice_after (E.prev head) e);
+    t.length <- t.length + 1
+
+  let insert_before t ~anchor e =
+    if not (E.linked anchor) then
+      invalid_arg "Active_ring.insert_before: unlinked anchor";
+    if E.linked e then invalid_arg "Active_ring.insert_before: already linked";
+    splice_after (E.prev anchor) e;
+    t.length <- t.length + 1
+
+  let remove t e =
+    if not (E.linked e) then invalid_arg "Active_ring.remove: not linked";
+    E.set_linked e false;
+    t.length <- t.length - 1;
+    if t.length = 0 then t.head <- None
+    else begin
+      let p = E.prev e and n = E.next e in
+      E.set_next p n;
+      E.set_prev n p;
+      match t.head with Some h when h == e -> t.head <- Some n | _ -> ()
+    end
+
+  let next t e =
+    if not (E.linked e) then invalid_arg "Active_ring.next: unlinked element";
+    if t.length = 0 then invalid_arg "Active_ring.next: empty ring";
+    E.next e
+
+  let iter t f =
+    match t.head with
+    | None -> ()
+    | Some head ->
+        let rec go e =
+          f e;
+          let n = E.next e in
+          if n != head then go n
+        in
+        go head
+
+  let to_list t =
+    let acc = ref [] in
+    iter t (fun e -> acc := e :: !acc);
+    List.rev !acc
+end

@@ -1,3 +1,32 @@
+(* The fast-path DRR/miDRR engine.
+
+   Semantics are defined by [Drr_engine_ref] (the original
+   list-and-hashtable implementation, kept as the executable spec); this
+   module is the O(active) rewrite that the repository uses by default.
+   The differential suite (test/test_differential.ml) drives both engines
+   in lockstep through randomized churn and requires identical serve
+   sequences, deficits, flags and event streams, and the golden-trace test
+   requires byte-identical `midrr run --trace` output — treat any
+   divergence as a bug here, not there.
+
+   What changed relative to the spec, and why each decision stays
+   O(active flows):
+
+   - Flow and interface states live in dense slot arrays indexed directly
+     by their (non-negative) ids, so [enqueue] and [next_packet] do one
+     bounds-checked array load where the spec does a [Hashtbl.find_opt].
+   - Each flow keeps its per-(flow, interface) links both in a packed
+     vector (for the flag-raising sweep of a service turn) and in a
+     link-by-iface array indexed by interface id, so [link_for] is one
+     array load where the spec scans a list with [List.find_opt].
+   - Each interface's round is an {e intrusive} ring (see {!Active_ring}):
+     the prev/next pointers live inside the link record, so
+     linking/unlinking a newly backlogged / drained flow allocates nothing.
+     Only backlogged flows are linked, so a decision never touches idle
+     flows no matter how many are registered.
+   - Link removal (flow/iface teardown, preference changes) swap-removes
+     from the packed vector in O(1) where the spec rebuilds a list. *)
+
 module Iset = Set.Make (Int)
 module Event = Midrr_obs.Event
 
@@ -12,10 +41,14 @@ type link = {
       (* SF_ij generalized to a saturating counter of services elsewhere
          since this interface last considered the flow; the paper's one-bit
          flag is the [counter_max = 1] case *)
-  mutable node : link Ring.node option; (* present iff flow backlogged *)
   mutable l_deficit : float; (* DC_ij, bytes: each interface runs its own DRR *)
   mutable l_served : int;
   mutable l_turns : int;
+  mutable l_flow_idx : int; (* position in the owning flow's link vector *)
+  (* intrusive Active_ring node state; linked iff the flow is backlogged *)
+  mutable ar_prev : link;
+  mutable ar_next : link;
+  mutable ar_linked : bool;
 }
 
 and flow_state = {
@@ -23,7 +56,8 @@ and flow_state = {
   mutable f_weight : float;
   mutable f_quantum : float; (* Q_i, bytes *)
   f_queue : Pktqueue.t;
-  mutable f_links : link list;
+  f_links : linkvec;
+  mutable f_link_by_iface : link option array; (* indexed by iface id *)
   mutable f_allowed : Iset.t; (* includes interfaces currently offline *)
   mutable f_served : int;
   mutable f_turns : int;
@@ -31,9 +65,48 @@ and flow_state = {
 
 and iface_state = {
   i_id : Types.iface_id;
-  i_ring : link Ring.t;
-  mutable i_cursor : link Ring.node option; (* C_j *)
+  i_ring : link Active_ring.t;
+  mutable i_cursor : link option; (* C_j *)
 }
+
+(* A packed growable vector of links.  Slots at index >= [lv_len] are
+   stale (they keep whatever link last occupied them — links are their own
+   array filler, so no option boxing); never read past [lv_len]. *)
+and linkvec = { mutable lv_arr : link array; mutable lv_len : int }
+
+module Aring = Active_ring.Make (struct
+  type t = link
+
+  let prev l = l.ar_prev
+  let set_prev l p = l.ar_prev <- p
+  let next l = l.ar_next
+  let set_next l n = l.ar_next <- n
+  let linked l = l.ar_linked
+  let set_linked l b = l.ar_linked <- b
+end)
+
+let lv_create () = { lv_arr = [||]; lv_len = 0 }
+
+let lv_push lv link =
+  let cap = Array.length lv.lv_arr in
+  if lv.lv_len = cap then begin
+    let a = Array.make (Stdlib.max 4 (2 * cap)) link in
+    Array.blit lv.lv_arr 0 a 0 cap;
+    lv.lv_arr <- a
+  end;
+  lv.lv_arr.(lv.lv_len) <- link;
+  link.l_flow_idx <- lv.lv_len;
+  lv.lv_len <- lv.lv_len + 1
+
+(* O(1) swap-remove; link order within a flow's vector is not meaningful
+   (every sweep over it is order-insensitive: flag raising, deficit reset,
+   activation into per-interface rings). *)
+let lv_swap_remove lv link =
+  let last = lv.lv_len - 1 in
+  let moved = lv.lv_arr.(last) in
+  lv.lv_arr.(link.l_flow_idx) <- moved;
+  moved.l_flow_idx <- link.l_flow_idx;
+  lv.lv_len <- last
 
 type t = {
   t_mode : mode;
@@ -41,8 +114,10 @@ type t = {
   t_counter_max : int;
   t_base_quantum : int;
   t_queue_capacity : int option;
-  t_flows : (Types.flow_id, flow_state) Hashtbl.t;
-  t_ifaces : (Types.iface_id, iface_state) Hashtbl.t;
+  mutable t_flow_slots : flow_state option array; (* indexed by flow id *)
+  mutable t_iface_slots : iface_state option array; (* indexed by iface id *)
+  mutable t_nflows : int;
+  mutable t_nifaces : int;
   mutable t_considered : int;
   mutable t_sink : (Event.t -> unit) option;
 }
@@ -65,8 +140,10 @@ let create ?(base_quantum = 1500) ?queue_capacity ?(flag_policy = Per_turn)
     t_counter_max = counter_max;
     t_base_quantum = base_quantum;
     t_queue_capacity = queue_capacity;
-    t_flows = Hashtbl.create 64;
-    t_ifaces = Hashtbl.create 16;
+    t_flow_slots = Array.make 64 None;
+    t_iface_slots = Array.make 16 None;
+    t_nflows = 0;
+    t_nifaces = 0;
     t_considered = 0;
     t_sink = None;
   }
@@ -79,106 +156,189 @@ let base_quantum t = t.t_base_quantum
 let name t =
   match t.t_mode with Plain -> "drr-per-interface" | Service_flags -> "midrr"
 
+(* --- dense slot plumbing ---------------------------------------------- *)
+
+let next_pow2_above cap wanted =
+  let n = ref (Stdlib.max 8 (2 * cap)) in
+  while wanted >= !n do
+    n := 2 * !n
+  done;
+  !n
+
+let grow_flow_slots t f =
+  let cap = Array.length t.t_flow_slots in
+  if f >= cap then begin
+    let a = Array.make (next_pow2_above cap f) None in
+    Array.blit t.t_flow_slots 0 a 0 cap;
+    t.t_flow_slots <- a
+  end
+
+(* Growing the interface id space must also widen every flow's
+   link-by-iface array: the invariant is that each spans exactly
+   [Array.length t.t_iface_slots] slots, so hot-path lookups need no
+   bounds logic beyond the id being in range.  Rare and amortized. *)
+let grow_iface_slots t j =
+  let cap = Array.length t.t_iface_slots in
+  if j >= cap then begin
+    let ncap = next_pow2_above cap j in
+    let a = Array.make ncap None in
+    Array.blit t.t_iface_slots 0 a 0 cap;
+    t.t_iface_slots <- a;
+    Array.iter
+      (function
+        | None -> ()
+        | Some fs ->
+            let b = Array.make ncap None in
+            Array.blit fs.f_link_by_iface 0 b 0 cap;
+            fs.f_link_by_iface <- b)
+      t.t_flow_slots
+  end
+
+let flow_slot t f =
+  if f >= 0 && f < Array.length t.t_flow_slots then t.t_flow_slots.(f)
+  else None
+
+let iface_slot t j =
+  if j >= 0 && j < Array.length t.t_iface_slots then t.t_iface_slots.(j)
+  else None
+
 let flow_state t f =
-  match Hashtbl.find_opt t.t_flows f with
+  match flow_slot t f with
   | Some fs -> fs
   | None -> invalid_arg "Drr_engine: unknown flow"
 
 let iface_state t j =
-  match Hashtbl.find_opt t.t_ifaces j with
+  match iface_slot t j with
   | Some ifc -> ifc
   | None -> invalid_arg "Drr_engine: unknown interface"
 
-let link_for flow j = List.find_opt (fun l -> l.l_iface.i_id = j) flow.f_links
+let link_for flow j =
+  if j >= 0 && j < Array.length flow.f_link_by_iface then
+    flow.f_link_by_iface.(j)
+  else None
 
 (* --- ring membership ------------------------------------------------- *)
 
 let insert_link ifc link =
   (* A newly backlogged flow joins at the end of the current round: just
      before the cursor when one is set, at the ring tail otherwise. *)
-  let node =
-    match ifc.i_cursor with
-    | Some anchor when Ring.is_member anchor ->
-        Ring.insert_before ifc.i_ring anchor link
-    | _ -> Ring.push_back ifc.i_ring link
-  in
-  link.node <- Some node
+  match ifc.i_cursor with
+  | Some anchor when anchor.ar_linked ->
+      Aring.insert_before ifc.i_ring ~anchor link
+  | _ -> Aring.push_back ifc.i_ring link
 
 let remove_link ifc link =
-  match link.node with
-  | None -> ()
-  | Some node ->
-      (match ifc.i_cursor with
-      | Some cur when cur == node ->
-          ifc.i_cursor <-
-            (if Ring.length ifc.i_ring <= 1 then None
-             else Some (Ring.next ifc.i_ring node))
-      | _ -> ());
-      Ring.remove ifc.i_ring node;
-      link.node <- None
+  if link.ar_linked then begin
+    (match ifc.i_cursor with
+    | Some cur when cur == link ->
+        ifc.i_cursor <-
+          (if Active_ring.length ifc.i_ring <= 1 then None
+           else Some (Aring.next ifc.i_ring link))
+    | _ -> ());
+    Aring.remove ifc.i_ring link
+  end
 
 let activate flow =
-  List.iter
-    (fun link -> if link.node = None then insert_link link.l_iface link)
-    flow.f_links
+  for i = 0 to flow.f_links.lv_len - 1 do
+    let link = flow.f_links.lv_arr.(i) in
+    if not link.ar_linked then insert_link link.l_iface link
+  done
 
 let deactivate flow =
-  List.iter (fun link -> remove_link link.l_iface link) flow.f_links
+  for i = 0 to flow.f_links.lv_len - 1 do
+    let link = flow.f_links.lv_arr.(i) in
+    remove_link link.l_iface link
+  done
+
+(* --- link lifecycle ---------------------------------------------------- *)
+
+let make_link fs ifc =
+  let rec link =
+    {
+      l_flow = fs;
+      l_iface = ifc;
+      flag = 0;
+      l_deficit = 0.0;
+      l_served = 0;
+      l_turns = 0;
+      l_flow_idx = -1;
+      ar_prev = link;
+      ar_next = link;
+      ar_linked = false;
+    }
+  in
+  lv_push fs.f_links link;
+  fs.f_link_by_iface.(ifc.i_id) <- Some link;
+  link
+
+let drop_link fs link =
+  remove_link link.l_iface link;
+  lv_swap_remove fs.f_links link;
+  fs.f_link_by_iface.(link.l_iface.i_id) <- None
 
 (* --- interface management -------------------------------------------- *)
 
-let has_iface t j = Hashtbl.mem t.t_ifaces j
+let has_iface t j = iface_slot t j <> None
 
 let add_iface t j =
+  if j < 0 then invalid_arg "Drr_engine.add_iface: negative interface id";
   if has_iface t j then invalid_arg "Drr_engine.add_iface: duplicate";
-  let ifc = { i_id = j; i_ring = Ring.create (); i_cursor = None } in
-  Hashtbl.replace t.t_ifaces j ifc;
+  grow_iface_slots t j;
+  let ifc = { i_id = j; i_ring = Active_ring.create (); i_cursor = None } in
+  t.t_iface_slots.(j) <- Some ifc;
+  t.t_nifaces <- t.t_nifaces + 1;
   (* Link every flow that already listed this interface in its preference;
      backlogged ones join the round immediately (paper property 4: new
-     capacity is used). *)
-  Hashtbl.iter
-    (fun _ flow ->
-      if Iset.mem j flow.f_allowed then begin
-        let link =
-          { l_flow = flow; l_iface = ifc; flag = 0; node = None;
-            l_deficit = 0.0; l_served = 0; l_turns = 0 }
-        in
-        flow.f_links <- link :: flow.f_links;
-        if not (Pktqueue.is_empty flow.f_queue) then insert_link ifc link
-      end)
-    t.t_flows;
+     capacity is used).  The slot scan runs in ascending id order, matching
+     the reference engine's sorted iteration, so the new ring's order is
+     identical under both engines. *)
+  Array.iter
+    (function
+      | Some flow when Iset.mem j flow.f_allowed ->
+          let link = make_link flow ifc in
+          if not (Pktqueue.is_empty flow.f_queue) then insert_link ifc link
+      | _ -> ())
+    t.t_flow_slots;
   emit t (Event.Iface_up { iface = j })
 
 let remove_iface t j =
-  let ifc = iface_state t j in
-  Hashtbl.iter
-    (fun _ flow ->
-      match link_for flow j with
-      | None -> ()
-      | Some link ->
-          remove_link ifc link;
-          flow.f_links <- List.filter (fun l -> l != link) flow.f_links)
-    t.t_flows;
-  Hashtbl.remove t.t_ifaces j;
+  let (_ : iface_state) = iface_state t j in
+  Array.iter
+    (function
+      | Some flow -> (
+          match flow.f_link_by_iface.(j) with
+          | None -> ()
+          | Some link -> drop_link flow link)
+      | None -> ())
+    t.t_flow_slots;
+  t.t_iface_slots.(j) <- None;
+  t.t_nifaces <- t.t_nifaces - 1;
   emit t (Event.Iface_down { iface = j })
 
 let ifaces t =
-  Hashtbl.fold (fun j _ acc -> j :: acc) t.t_ifaces [] |> List.sort compare
+  let acc = ref [] in
+  for j = Array.length t.t_iface_slots - 1 downto 0 do
+    if t.t_iface_slots.(j) <> None then acc := j :: !acc
+  done;
+  !acc
 
 (* --- flow management -------------------------------------------------- *)
 
-let has_flow t f = Hashtbl.mem t.t_flows f
+let has_flow t f = flow_slot t f <> None
 
 let add_flow t ~flow ~weight ~allowed =
+  if flow < 0 then invalid_arg "Drr_engine.add_flow: negative flow id";
   if has_flow t flow then invalid_arg "Drr_engine.add_flow: duplicate";
   if not (weight > 0.0) then invalid_arg "Drr_engine.add_flow: weight <= 0";
+  grow_flow_slots t flow;
   let fs =
     {
       f_id = flow;
       f_weight = weight;
       f_quantum = weight *. Float.of_int t.t_base_quantum;
       f_queue = Pktqueue.create ?capacity_bytes:t.t_queue_capacity ();
-      f_links = [];
+      f_links = lv_create ();
+      f_link_by_iface = Array.make (Array.length t.t_iface_slots) None;
       f_allowed = Iset.of_list allowed;
       f_served = 0;
       f_turns = 0;
@@ -186,25 +346,27 @@ let add_flow t ~flow ~weight ~allowed =
   in
   Iset.iter
     (fun j ->
-      match Hashtbl.find_opt t.t_ifaces j with
+      match iface_slot t j with
       | None -> ()
-      | Some ifc ->
-          fs.f_links <-
-            { l_flow = fs; l_iface = ifc; flag = 0; node = None;
-              l_deficit = 0.0; l_served = 0; l_turns = 0 }
-            :: fs.f_links)
+      | Some ifc -> ignore (make_link fs ifc))
     fs.f_allowed;
-  Hashtbl.replace t.t_flows flow fs;
+  t.t_flow_slots.(flow) <- Some fs;
+  t.t_nflows <- t.t_nflows + 1;
   emit t (Event.Flow_add { flow; weight })
 
 let remove_flow t f =
   let fs = flow_state t f in
   deactivate fs;
-  Hashtbl.remove t.t_flows f;
+  t.t_flow_slots.(f) <- None;
+  t.t_nflows <- t.t_nflows - 1;
   emit t (Event.Flow_remove { flow = f })
 
 let flows t =
-  Hashtbl.fold (fun f _ acc -> f :: acc) t.t_flows [] |> List.sort compare
+  let acc = ref [] in
+  for f = Array.length t.t_flow_slots - 1 downto 0 do
+    if t.t_flow_slots.(f) <> None then acc := f :: !acc
+  done;
+  !acc
 
 let set_weight t f w =
   if not (w > 0.0) then invalid_arg "Drr_engine.set_weight: weight <= 0";
@@ -213,31 +375,26 @@ let set_weight t f w =
   fs.f_quantum <- w *. Float.of_int t.t_base_quantum;
   emit t (Event.Weight_change { flow = f; weight = w })
 
-let allowed_ifaces t f =
-  Iset.elements (flow_state t f).f_allowed
+let allowed_ifaces t f = Iset.elements (flow_state t f).f_allowed
 
 let set_allowed t f allowed =
   let fs = flow_state t f in
   let wanted = Iset.of_list allowed in
   let backlogged = not (Pktqueue.is_empty fs.f_queue) in
-  (* Drop links to interfaces no longer allowed. *)
-  let keep, drop =
-    List.partition (fun l -> Iset.mem l.l_iface.i_id wanted) fs.f_links
-  in
-  List.iter (fun l -> remove_link l.l_iface l) drop;
-  fs.f_links <- keep;
+  (* Drop links to interfaces no longer allowed.  Walk backwards: a
+     swap-remove only disturbs indices at or above the current one. *)
+  for i = fs.f_links.lv_len - 1 downto 0 do
+    let link = fs.f_links.lv_arr.(i) in
+    if not (Iset.mem link.l_iface.i_id wanted) then drop_link fs link
+  done;
   (* Add links for newly allowed online interfaces. *)
   Iset.iter
     (fun j ->
       if link_for fs j = None then
-        match Hashtbl.find_opt t.t_ifaces j with
+        match iface_slot t j with
         | None -> ()
         | Some ifc ->
-            let link =
-              { l_flow = fs; l_iface = ifc; flag = 0; node = None;
-                l_deficit = 0.0; l_served = 0; l_turns = 0 }
-            in
-            fs.f_links <- link :: fs.f_links;
+            let link = make_link fs ifc in
             if backlogged then insert_link ifc link)
     wanted;
   fs.f_allowed <- wanted
@@ -245,7 +402,7 @@ let set_allowed t f allowed =
 (* --- data path --------------------------------------------------------- *)
 
 let enqueue t (p : Packet.t) =
-  match Hashtbl.find_opt t.t_flows p.flow with
+  match flow_slot t p.flow with
   | None ->
       (match t.t_sink with
       | None -> ()
@@ -277,11 +434,12 @@ let begin_turn t ifc link =
   match t.t_mode with
   | Plain -> ()
   | Service_flags ->
-      List.iter
-        (fun other ->
-          if other != link then
-            other.flag <- Stdlib.min t.t_counter_max (other.flag + 1))
-        flow.f_links
+      let links = flow.f_links in
+      for i = 0 to links.lv_len - 1 do
+        let other = links.lv_arr.(i) in
+        if other != link then
+          other.flag <- Stdlib.min t.t_counter_max (other.flag + 1)
+      done
 
 (* Advance C_j to the next flow to serve.  [skip_current] distinguishes the
    two call sites of the paper's pseudocode: after an ordinary
@@ -291,46 +449,46 @@ let begin_turn t ifc link =
 let check_next t ifc ~skip_current =
   let cur =
     match ifc.i_cursor with
-    | Some n when Ring.is_member n -> n
-    | _ -> Option.get (Ring.head ifc.i_ring)
+    | Some n when n.ar_linked -> n
+    | _ -> Option.get (Active_ring.head ifc.i_ring)
   in
-  let n = ref (if skip_current then Ring.next ifc.i_ring cur else cur) in
+  let n = ref (if skip_current then Aring.next ifc.i_ring cur else cur) in
   (match t.t_mode with
   | Plain -> ()
   | Service_flags ->
       (* Skip flows served elsewhere since our last visit, clearing their
          flags as we pass (Algorithm 3.2).  Terminates: every skipped flow
          is unflagged, so the second lap stops at the first flow. *)
-      while (Ring.value !n).flag > 0 do
+      while !n.flag > 0 do
         t.t_considered <- t.t_considered + 1;
-        let link = Ring.value !n in
+        let link = !n in
         link.flag <- link.flag - 1;
         (match t.t_sink with
         | None -> ()
         | Some s ->
             s (Event.Flag_reset { flow = link.l_flow.f_id; iface = ifc.i_id }));
-        n := Ring.next ifc.i_ring !n
+        n := Aring.next ifc.i_ring !n
       done);
   ifc.i_cursor <- Some !n;
-  begin_turn t ifc (Ring.value !n)
+  begin_turn t ifc !n
 
 let next_packet t j =
   let ifc = iface_state t j in
   let rec loop () =
-    if Ring.is_empty ifc.i_ring then None
+    if Active_ring.is_empty ifc.i_ring then None
     else begin
       let cur =
         match ifc.i_cursor with
-        | Some n when Ring.is_member n -> n
+        | Some n when n.ar_linked -> n
         | _ ->
             (* First decision on this ring (or cursor lost with the ring):
                start a turn for the head flow. *)
-            let head = Option.get (Ring.head ifc.i_ring) in
+            let head = Option.get (Active_ring.head ifc.i_ring) in
             ifc.i_cursor <- Some head;
-            begin_turn t ifc (Ring.value head);
+            begin_turn t ifc head;
             head
       in
-      let link = Ring.value cur in
+      let link = cur in
       let flow = link.l_flow in
       let size = Pktqueue.head_size flow.f_queue in
       t.t_considered <- t.t_considered + 1;
@@ -356,17 +514,21 @@ let next_packet t j =
            raises them only at selection (in [begin_turn]). *)
         (match (t.t_mode, t.t_flag_policy) with
         | Service_flags, Per_send ->
-            List.iter
-              (fun other ->
-                if other != link then
-                  other.flag <- Stdlib.min t.t_counter_max (other.flag + 1))
-              flow.f_links
+            let links = flow.f_links in
+            for i = 0 to links.lv_len - 1 do
+              let other = links.lv_arr.(i) in
+              if other != link then
+                other.flag <- Stdlib.min t.t_counter_max (other.flag + 1)
+            done
         | _ -> ());
         if Pktqueue.is_empty flow.f_queue then begin
           (* BL_i = 0: reset the deficits and leave every round. *)
-          List.iter (fun l -> l.l_deficit <- 0.0) flow.f_links;
+          let links = flow.f_links in
+          for i = 0 to links.lv_len - 1 do
+            links.lv_arr.(i).l_deficit <- 0.0
+          done;
           deactivate flow;
-          if not (Ring.is_empty ifc.i_ring) then
+          if not (Active_ring.is_empty ifc.i_ring) then
             check_next t ifc ~skip_current:false
         end
         else if Float.of_int (Pktqueue.head_size flow.f_queue) > link.l_deficit
@@ -394,14 +556,18 @@ let served_bytes_on t ~flow ~iface =
   | Some l -> l.l_served
 
 let deficit t f =
-  List.fold_left
-    (fun acc l -> Float.max acc l.l_deficit)
-    0.0 (flow_state t f).f_links
+  let fs = flow_state t f in
+  let acc = ref 0.0 in
+  for i = 0 to fs.f_links.lv_len - 1 do
+    acc := Float.max !acc fs.f_links.lv_arr.(i).l_deficit
+  done;
+  !acc
 
 let deficit_on t ~flow ~iface =
   match link_for (flow_state t flow) iface with
   | None -> 0.0
   | Some l -> l.l_deficit
+
 let quantum t f = (flow_state t f).f_quantum
 
 let service_flag t ~flow ~iface =
@@ -422,21 +588,23 @@ let turns_on t ~flow ~iface =
   | Some l -> l.l_turns
 
 let ring_flows t j =
-  Ring.to_list (iface_state t j).i_ring |> List.map (fun l -> l.l_flow.f_id)
+  Aring.to_list (iface_state t j).i_ring |> List.map (fun l -> l.l_flow.f_id)
 
 let considered t = t.t_considered
 
 let reset_counters t =
   t.t_considered <- 0;
-  Hashtbl.iter
-    (fun _ fs ->
-      fs.f_served <- 0;
-      fs.f_turns <- 0;
-      List.iter
-        (fun l ->
-          l.l_served <- 0;
-          l.l_turns <- 0)
-        fs.f_links)
-    t.t_flows
+  Array.iter
+    (function
+      | None -> ()
+      | Some fs ->
+          fs.f_served <- 0;
+          fs.f_turns <- 0;
+          for i = 0 to fs.f_links.lv_len - 1 do
+            let l = fs.f_links.lv_arr.(i) in
+            l.l_served <- 0;
+            l.l_turns <- 0
+          done)
+    t.t_flow_slots
 
 let drops t f = Pktqueue.drops (flow_state t f).f_queue

@@ -1,16 +1,12 @@
-(** The fast-path deficit-round-robin engine behind both DRR and miDRR.
+(** The {e reference} deficit-round-robin engine — the executable
+    specification of DRR and miDRR.
 
-    This is the default engine: flow and interface state live in dense
-    slot arrays indexed by id, each interface's round is an intrusive
-    {!Active_ring} threaded through the per-(flow, interface) link
-    records, and [link_for] is a single array load — so a scheduling
-    decision costs O(active flows), independent of how many idle flows
-    are registered.  Flow and interface ids must be non-negative (they
-    index the slot arrays directly; ids are expected to be small and
-    dense).  Semantics are specified by {!Drr_engine_ref}, the original
-    list-and-hashtable implementation kept as the executable spec; the
-    differential and golden-trace suites hold the two engines to
-    identical serve sequences, deficits, flags and event streams.
+    This is the original list-and-hashtable implementation.  The default
+    engine behind {!Midrr}/{!Drr} is the O(active) rewrite in
+    {!Drr_engine}; this module is retained, API-identical, as the
+    semantic oracle: the differential suite drives both in lockstep and
+    requires identical serve sequences, deficits, flags and event
+    streams.  Select it at runtime with [midrr run --engine ref].
 
     The paper's Table 1 presents miDRR as classic DRR with one line changed:
     the "advance to the next backlogged flow" step additionally consults a

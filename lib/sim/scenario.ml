@@ -265,15 +265,26 @@ let parse text =
 
 (* --- execution --------------------------------------------------------------- *)
 
-let make_sched spec =
-  match spec with
-  | Sched_midrr counter -> Midrr.packed (Midrr.create ?counter_max:counter ())
-  | Sched_drr -> Drr.packed (Drr.create ())
-  | Sched_wfq -> Wfq.packed (Wfq.create ())
-  | Sched_rr -> Rrobin.packed (Rrobin.create ())
+type engine = Engine_fast | Engine_ref
 
-let run ?sink t =
-  let sched = make_sched t.sched in
+let make_sched ?(engine = Engine_fast) spec =
+  match (spec, engine) with
+  | Sched_midrr counter, Engine_fast ->
+      Midrr.packed (Midrr.create ?counter_max:counter ())
+  | Sched_midrr counter, Engine_ref ->
+      Sched_intf.Packed
+        ( (module Drr_engine_ref),
+          Drr_engine_ref.create ?counter_max:counter
+            Drr_engine_ref.Service_flags )
+  | Sched_drr, Engine_fast -> Drr.packed (Drr.create ())
+  | Sched_drr, Engine_ref ->
+      Sched_intf.Packed
+        ((module Drr_engine_ref), Drr_engine_ref.create Drr_engine_ref.Plain)
+  | Sched_wfq, _ -> Wfq.packed (Wfq.create ())
+  | Sched_rr, _ -> Rrobin.packed (Rrobin.create ())
+
+let run ?sink ?engine t =
+  let sched = make_sched ?engine t.sched in
   let sim = Netsim.create ~bin:0.5 ?sink ~sched () in
   List.iter (fun (j, profile) -> Netsim.add_iface sim j profile) t.ifaces;
   let ids = Hashtbl.create 16 in
@@ -365,7 +376,7 @@ let run ?sink t =
   in
   { windows; completions }
 
-let run_text ?sink text = Result.map (run ?sink) (parse text)
+let run_text ?sink ?engine text = Result.map (run ?sink ?engine) (parse text)
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

@@ -52,15 +52,27 @@ type report = {
       (** finite flows and their completion times *)
 }
 
+type engine =
+  | Engine_fast
+      (** the default O(active) engine ({!Midrr_core.Drr_engine}) *)
+  | Engine_ref
+      (** the reference list-and-hashtable engine
+          ({!Midrr_core.Drr_engine_ref}) — the executable spec, selectable
+          with [midrr run --engine ref] *)
+
 val parse : string -> (t, string) result
 (** Parse scenario text; the error names the offending line. *)
 
-val run : ?sink:Midrr_obs.Sink.t -> t -> report
+val run : ?sink:Midrr_obs.Sink.t -> ?engine:engine -> t -> report
 (** Build the simulation and execute it.  [sink] receives the run's full
     event stream (see {!Netsim.create}); `midrr run --trace` streams it
-    to a JSONL file. *)
+    to a JSONL file.  [engine] (default {!Engine_fast}) picks the
+    scheduler implementation for [midrr]/[drr] scenarios; both must
+    produce identical behavior, so this only matters for cross-checking
+    and benchmarking.  [wfq]/[rr] scenarios ignore it. *)
 
-val run_text : ?sink:Midrr_obs.Sink.t -> string -> (report, string) result
+val run_text :
+  ?sink:Midrr_obs.Sink.t -> ?engine:engine -> string -> (report, string) result
 (** [parse] then [run]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,100 @@
+(* Golden-trace regression for the scheduler-event stream.
+
+   [golden/fig6_trace_prefix.jsonl.gz] is the first 2500 lines of
+   `midrr run scenarios/fig6.scn --trace` as emitted when the trace
+   format and the reference engine were frozen.  Both engines must
+   reproduce it byte for byte: the trace carries every enqueue, turn,
+   flag reset and serve (with its post-serve deficit), so any change to
+   scheduling order, deficit arithmetic or the JSONL schema shows up as
+   a divergent line.  On mismatch the failure prints the first divergent
+   event of each stream, which names the flow/interface and step where
+   behavior changed.
+
+   The fixture is gzipped to keep the repository small; it is inflated
+   through the system gzip so no compression library is needed. *)
+
+let golden_path = "golden/fig6_trace_prefix.jsonl.gz"
+let scenario_path = "../scenarios/fig6.scn"
+
+let read_golden () =
+  let ic = Unix.open_process_in (Printf.sprintf "gzip -dc %s" golden_path) in
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some line -> go (line :: acc)
+    | None -> List.rev acc
+  in
+  let lines = go [] in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.failf "gzip -dc %s failed" golden_path);
+  if lines = [] then Alcotest.failf "empty golden trace %s" golden_path;
+  lines
+
+(* Capture the first [limit] trace lines of a scenario run, formatted
+   exactly as `midrr run --trace` writes them. *)
+let trace_prefix ~engine ~limit =
+  let text = In_channel.with_open_text scenario_path In_channel.input_all in
+  let lines = ref [] and count = ref 0 in
+  let sink ~time ev =
+    if !count < limit then begin
+      lines := Midrr_obs.Jsonl.to_string ~time ev :: !lines;
+      incr count
+    end
+  in
+  (match Midrr_sim.Scenario.run_text ~sink ~engine text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "scenario error: %s" e);
+  List.rev !lines
+
+let check_against_golden name engine () =
+  let golden = read_golden () in
+  let got = trace_prefix ~engine ~limit:(List.length golden) in
+  let rec compare i = function
+    | [], [] -> ()
+    | g :: _, [] ->
+        Alcotest.failf "%s: trace ends at line %d; golden continues with:\n%s"
+          name i g
+    | [], l :: _ ->
+        Alcotest.failf "%s: trace has extra line %d beyond golden:\n%s" name i
+          l
+    | g :: gs, l :: ls ->
+        if String.equal g l then compare (i + 1) (gs, ls)
+        else
+          Alcotest.failf
+            "%s: first divergent event at line %d\n  golden: %s\n  got:    %s"
+            name i g l
+  in
+  compare 1 (golden, got)
+
+(* The two engines must also agree with each other over a much longer
+   horizon than the committed prefix. *)
+let engines_agree () =
+  let limit = 50_000 in
+  let fast = trace_prefix ~engine:Midrr_sim.Scenario.Engine_fast ~limit in
+  let refe = trace_prefix ~engine:Midrr_sim.Scenario.Engine_ref ~limit in
+  let rec compare i = function
+    | [], [] -> ()
+    | g :: _, [] | [], g :: _ ->
+        Alcotest.failf "engines: stream lengths differ at line %d (%s)" i g
+    | f :: fs, r :: rs ->
+        if String.equal f r then compare (i + 1) (fs, rs)
+        else
+          Alcotest.failf
+            "engines: first divergent event at line %d\n  fast: %s\n  ref:  %s"
+            i f r
+  in
+  compare 1 (fast, refe)
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "fig6 trace",
+        [
+          Alcotest.test_case "fast engine matches golden" `Quick
+            (check_against_golden "fast" Midrr_sim.Scenario.Engine_fast);
+          Alcotest.test_case "ref engine matches golden" `Quick
+            (check_against_golden "ref" Midrr_sim.Scenario.Engine_ref);
+          Alcotest.test_case "engines agree beyond the prefix" `Quick
+            engines_agree;
+        ] );
+    ]

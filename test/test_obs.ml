@@ -94,6 +94,82 @@ let test_recorder_fold_and_wrap () =
   Recorder.clear r;
   check Alcotest.int "clear empties" 0 (Recorder.length r)
 
+(* Wraparound under a burst far larger than the ring, driven by a live
+   scheduler rather than hand-fed events: every overwritten entry must be
+   accounted for in [dropped] (total = length + dropped — nothing is
+   truncated silently), and the retained window must be exactly the most
+   recent [capacity] events in order. *)
+let test_recorder_burst_wraparound () =
+  let capacity = 64 in
+  let r = Recorder.create ~capacity () in
+  let sched = Midrr.create () in
+  let clock = ref 0.0 in
+  Midrr.set_sink sched (Some (Sink.stamp ~clock:(fun () -> !clock) (Recorder.sink r)));
+  Drr_engine.add_iface sched 0;
+  Drr_engine.add_flow sched ~flow:0 ~weight:1.0 ~allowed:[ 0 ];
+  (* Each iteration emits one enqueue and one serve event. *)
+  let rounds = 5_000 in
+  for i = 1 to rounds do
+    clock := float_of_int i;
+    ignore
+      (Drr_engine.enqueue sched (Packet.create ~flow:0 ~size:100 ~arrival:!clock));
+    match Drr_engine.next_packet sched 0 with
+    | Some _ -> ()
+    | None -> Alcotest.fail "burst: expected a packet"
+  done;
+  let expected_total =
+    (* iface_up + flow_add + per round: enqueue, turn(s), serve *)
+    Recorder.length r + Recorder.dropped r
+  in
+  check Alcotest.int "no silent truncation: total = length + dropped"
+    expected_total (Recorder.total r);
+  check Alcotest.int "length capped at capacity" capacity (Recorder.length r);
+  check Alcotest.bool "burst actually wrapped" true
+    (Recorder.dropped r > rounds);
+  (* Retained entries are the newest ones, oldest first, and timestamps
+     are monotone across the wrapped window. *)
+  let times =
+    Recorder.fold r ~init:[] ~f:(fun acc (e : Recorder.entry) -> e.time :: acc)
+    |> List.rev
+  in
+  check Alcotest.int "retained count" capacity (List.length times);
+  let sorted = List.sort compare times in
+  check Alcotest.bool "oldest-first across wrap" true (times = sorted);
+  check (Alcotest.float 1e-9) "newest event retained" (float_of_int rounds)
+    (List.nth times (capacity - 1))
+
+(* A JSONL sink under the same burst writes every event: the stream is
+   unbounded (no ring), so line count must equal the recorder's total. *)
+let test_jsonl_burst_to_file () =
+  let path = Filename.temp_file "midrr_jsonl_burst" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let r = Recorder.create ~capacity:16 () in
+      let oc = open_out path in
+      let sched = Midrr.create () in
+      let sink = Sink.tee (Jsonl.sink oc) (Recorder.sink r) in
+      Midrr.set_sink sched (Some (Sink.stamp ~clock:(fun () -> 0.0) sink));
+      Drr_engine.add_iface sched 0;
+      Drr_engine.add_flow sched ~flow:3 ~weight:1.0 ~allowed:[ 0 ];
+      for _ = 1 to 1_000 do
+        ignore
+          (Drr_engine.enqueue sched
+             (Packet.create ~flow:3 ~size:200 ~arrival:0.0));
+        ignore (Drr_engine.next_packet sched 0)
+      done;
+      close_out oc;
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      check Alcotest.bool "recorder ring wrapped" true (Recorder.dropped r > 0);
+      check Alcotest.int "jsonl keeps every event the ring dropped"
+        (Recorder.total r) (List.length lines);
+      List.iter
+        (fun line ->
+          let n = String.length line in
+          if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then
+            Alcotest.failf "malformed jsonl line: %s" line)
+        lines)
+
 let test_recorder_as_sink () =
   let r = Recorder.create () in
   let s = Recorder.sink r in
@@ -242,6 +318,8 @@ let () =
         [
           Alcotest.test_case "fold and wrap" `Quick test_recorder_fold_and_wrap;
           Alcotest.test_case "as sink" `Quick test_recorder_as_sink;
+          Alcotest.test_case "burst wraparound" `Quick
+            test_recorder_burst_wraparound;
         ] );
       ( "counters",
         [
@@ -249,7 +327,10 @@ let () =
           Alcotest.test_case "sink kinds" `Quick test_counters_sink_kinds;
         ] );
       ( "jsonl",
-        [ Alcotest.test_case "format" `Quick test_jsonl_format ] );
+        [
+          Alcotest.test_case "format" `Quick test_jsonl_format;
+          Alcotest.test_case "burst to file" `Quick test_jsonl_burst_to_file;
+        ] );
       ( "wiring",
         [
           Alcotest.test_case "emission and subscribe" `Quick
