@@ -1,0 +1,102 @@
+(* midrr-lint: scheduler-specific static analysis over lib/, bin/ and
+   bench/.  Exit status 0 when the repo is clean (no finding outside the
+   committed baseline, no parse error), 1 otherwise. *)
+
+open Cmdliner
+
+let root =
+  let doc = "Repository root to scan from." in
+  Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR" ~doc)
+
+let dirs =
+  let doc =
+    "Directory (relative to $(b,--root)) to scan; repeatable.  Defaults \
+     to lib, bin and bench."
+  in
+  Arg.(value & opt_all string [] & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let baseline_path =
+  let doc =
+    "Baseline file of tolerated pre-existing findings (relative paths \
+     resolve against $(b,--root)).  A missing file is an empty baseline."
+  in
+  Arg.(
+    value & opt string "lint.baseline" & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let json_path =
+  let doc = "Also write the report as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let update_baseline =
+  let doc =
+    "Rewrite the baseline file so every current finding is tolerated, \
+     then exit 0.  Ratchet discipline: only use this to shrink the \
+     baseline after fixing sites (or to seed it once)."
+  in
+  Arg.(value & flag & info [ "update-baseline" ] ~doc)
+
+let quiet =
+  let doc = "Suppress the per-finding text report (summary line only)." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let resolve root path =
+  if Filename.is_relative path then Filename.concat root path else path
+
+let run root dirs baseline_path json_path update quiet =
+  let dirs = match dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds in
+  let baseline_file = resolve root baseline_path in
+  if update then begin
+    let keys = Midrr_lint.Driver.all_keys ~root ~dirs () in
+    Midrr_lint.Baseline.save baseline_file ~keys;
+    Printf.printf "midrr-lint: wrote %d baseline entr(ies) to %s\n"
+      (List.length keys) baseline_file;
+    0
+  end
+  else
+    match Midrr_lint.Baseline.load baseline_file with
+    | Error msg ->
+        Printf.eprintf "midrr-lint: cannot read baseline %s: %s\n"
+          baseline_file msg;
+        1
+    | Ok baseline ->
+        let report = Midrr_lint.Driver.scan ~root ~dirs ~baseline () in
+        Option.iter
+          (fun path ->
+            let oc = open_out_bin (resolve root path) in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc (Midrr_lint.Driver.report_to_json report)))
+          json_path;
+        if quiet then
+          Printf.eprintf
+            "midrr-lint: %d fresh finding(s), %d parse error(s)\n"
+            (List.length report.findings)
+            (List.length report.parse_errors)
+        else Format.eprintf "%a" Midrr_lint.Driver.pp_report report;
+        if Midrr_lint.Driver.clean report then 0 else 1
+
+let cmd =
+  let doc = "scheduler-specific static analysis for the midrr repo" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Walks every .ml/.mli under the scanned directories and enforces \
+         the midrr rule set: R1 no polymorphic compare/equality in \
+         hot-path modules; R2 no catch-all exception handlers; R3 no \
+         float =/<> on computed values in flownet/stats; R4 no Obj.magic \
+         or warning suppressions; R5 no top-level mutable state outside \
+         the declared allowlist.  See DESIGN.md section 9.";
+      `P
+        "Suppress a single site with [@midrr.lint.allow \"R5\"] or \
+         tolerate pre-existing findings via the committed baseline file.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "midrr-lint" ~doc ~man)
+    Term.(
+      const run $ root $ dirs $ baseline_path $ json_path $ update_baseline
+      $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -2,7 +2,7 @@ type 'a t = { mutable head : 'a option; mutable length : int }
 
 let create () = { head = None; length = 0 }
 
-let is_empty t = t.length = 0
+let is_empty t = Int.equal t.length 0
 
 let length t = t.length
 
@@ -54,7 +54,7 @@ module Make (E : ELT) = struct
     if not (E.linked e) then invalid_arg "Active_ring.remove: not linked";
     E.set_linked e false;
     t.length <- t.length - 1;
-    if t.length = 0 then t.head <- None
+    if Int.equal t.length 0 then t.head <- None
     else begin
       let p = E.prev e and n = E.next e in
       E.set_next p n;
@@ -64,7 +64,7 @@ module Make (E : ELT) = struct
 
   let next t e =
     if not (E.linked e) then invalid_arg "Active_ring.next: unlinked element";
-    if t.length = 0 then invalid_arg "Active_ring.next: empty ring";
+    if Int.equal t.length 0 then invalid_arg "Active_ring.next: empty ring";
     E.next e
 
   let iter t f =

@@ -89,7 +89,7 @@ let lv_create () = { lv_arr = [||]; lv_len = 0 }
 
 let lv_push lv link =
   let cap = Array.length lv.lv_arr in
-  if lv.lv_len = cap then begin
+  if Int.equal lv.lv_len cap then begin
     let a = Array.make (Stdlib.max 4 (2 * cap)) link in
     Array.blit lv.lv_arr 0 a 0 cap;
     lv.lv_arr <- a
@@ -278,7 +278,7 @@ let drop_link fs link =
 
 (* --- interface management -------------------------------------------- *)
 
-let has_iface t j = iface_slot t j <> None
+let has_iface t j = Option.is_some (iface_slot t j)
 
 let add_iface t j =
   if j < 0 then invalid_arg "Drr_engine.add_iface: negative interface id";
@@ -318,13 +318,13 @@ let remove_iface t j =
 let ifaces t =
   let acc = ref [] in
   for j = Array.length t.t_iface_slots - 1 downto 0 do
-    if t.t_iface_slots.(j) <> None then acc := j :: !acc
+    if Option.is_some t.t_iface_slots.(j) then acc := j :: !acc
   done;
   !acc
 
 (* --- flow management -------------------------------------------------- *)
 
-let has_flow t f = flow_slot t f <> None
+let has_flow t f = Option.is_some (flow_slot t f)
 
 let add_flow t ~flow ~weight ~allowed =
   if flow < 0 then invalid_arg "Drr_engine.add_flow: negative flow id";
@@ -364,7 +364,7 @@ let remove_flow t f =
 let flows t =
   let acc = ref [] in
   for f = Array.length t.t_flow_slots - 1 downto 0 do
-    if t.t_flow_slots.(f) <> None then acc := f :: !acc
+    if Option.is_some t.t_flow_slots.(f) then acc := f :: !acc
   done;
   !acc
 
@@ -390,7 +390,7 @@ let set_allowed t f allowed =
   (* Add links for newly allowed online interfaces. *)
   Iset.iter
     (fun j ->
-      if link_for fs j = None then
+      if Option.is_none (link_for fs j) then
         match iface_slot t j with
         | None -> ()
         | Some ifc ->

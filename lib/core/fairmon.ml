@@ -103,7 +103,7 @@ let sample t =
               in
               if was && still then f :: acc else acc)
             prev.backlogged []
-          |> List.sort compare
+          |> List.sort Int.compare
         in
         let delta table table' key =
           Float.of_int

@@ -52,7 +52,7 @@ let has_iface t j = List.mem j t.iface_list
 
 let add_iface t j =
   if has_iface t j then invalid_arg "Oracle.add_iface: duplicate";
-  t.iface_list <- List.sort compare (j :: t.iface_list);
+  t.iface_list <- List.sort Int.compare (j :: t.iface_list);
   t.stale <- true;
   emit t (Midrr_obs.Event.Iface_up { iface = j })
 
@@ -88,7 +88,8 @@ let remove_flow t f =
   emit t (Midrr_obs.Event.Flow_remove { flow = f })
 
 let flows t =
-  Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl [] |> List.sort compare
+  Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl []
+  |> List.sort Int.compare
 
 let set_weight t f w =
   if not (w > 0.0) then invalid_arg "Oracle.set_weight: weight <= 0";
@@ -111,7 +112,7 @@ let recompute t =
     Hashtbl.fold
       (fun _ fs acc -> if Pktqueue.is_empty fs.queue then acc else fs :: acc)
       t.flows_tbl []
-    |> List.sort (fun a b -> compare a.f_id b.f_id)
+    |> List.sort (fun a b -> Int.compare a.f_id b.f_id)
   in
   Hashtbl.iter
     (fun _ fs ->

@@ -1,13 +1,14 @@
 type t = { flow : Types.flow_id; size : int; seq : int; arrival : float }
 
-let counter = ref 0
+(* A process-wide sequence source: Atomic keeps packet ids unique and the
+   allocation-free create path domain-safe for future sharding. *)
+let counter = Atomic.make 0
 
 let create ~flow ~size ~arrival =
   if size <= 0 then invalid_arg "Packet.create: size <= 0";
-  incr counter;
-  { flow; size; seq = !counter; arrival }
+  { flow; size; seq = 1 + Atomic.fetch_and_add counter 1; arrival }
 
-let compare_seq a b = compare a.seq b.seq
+let compare_seq a b = Int.compare a.seq b.seq
 
 let pp ppf t =
   Format.fprintf ppf "pkt#%d flow=%d %dB @%.6fs" t.seq t.flow t.size t.arrival

@@ -163,4 +163,9 @@ let finish_order result =
         (fun k ft -> if Float.is_finite ft then items := (ft, (i, k)) :: !items)
         finishes)
     result.finish_times;
-  List.sort compare !items |> List.map snd
+  let cmp (ta, (ia, ka)) (tb, (ib, kb)) =
+    match Float.compare ta tb with
+    | 0 -> ( match Int.compare ia ib with 0 -> Int.compare ka kb | c -> c)
+    | c -> c
+  in
+  List.sort cmp !items |> List.map snd

@@ -25,7 +25,8 @@ let add_iface t ~id ~name ~classes =
 let remove_iface t id = Hashtbl.remove t.ifaces id
 
 let iface_ids t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.ifaces [] |> List.sort compare
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.ifaces []
+  |> List.sort Int.compare
 
 let add_app t ~flow ~name =
   if Hashtbl.mem t.apps name then invalid_arg "Policy.add_app: duplicate app";

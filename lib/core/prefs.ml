@@ -41,7 +41,8 @@ let allowed_ifaces t flow =
   | Some e -> Iset.elements e.allowed
 
 let flows t =
-  Hashtbl.fold (fun flow _ acc -> flow :: acc) t.table [] |> List.sort compare
+  Hashtbl.fold (fun flow _ acc -> flow :: acc) t.table []
+  |> List.sort Int.compare
 
 let known t flow = Hashtbl.mem t.table flow
 

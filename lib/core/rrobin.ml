@@ -53,7 +53,8 @@ let remove_iface t j =
   emit t (Midrr_obs.Event.Iface_down { iface = j })
 
 let ifaces t =
-  Hashtbl.fold (fun j _ acc -> j :: acc) t.ifaces_tbl [] |> List.sort compare
+  Hashtbl.fold (fun j _ acc -> j :: acc) t.ifaces_tbl []
+  |> List.sort Int.compare
 
 let has_flow t f = Hashtbl.mem t.flows_tbl f
 
@@ -79,7 +80,8 @@ let remove_flow t f =
   emit t (Midrr_obs.Event.Flow_remove { flow = f })
 
 let flows t =
-  Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl [] |> List.sort compare
+  Hashtbl.fold (fun f _ acc -> f :: acc) t.flows_tbl []
+  |> List.sort Int.compare
 
 let set_weight t f w =
   if not (w > 0.0) then invalid_arg "Rrobin.set_weight: weight <= 0";

@@ -26,7 +26,7 @@ module Uf = struct
 end
 
 let default_eps (inst : Instance.t) =
-  1e-6 *. Float.max 1.0 (Array.fold_left Float.max 0.0 inst.capacities)
+  Feq.scale_eps ~rel:1e-6 (Array.fold_left Float.max 0.0 inst.capacities)
 
 let decompose ?eps (inst : Instance.t) ~share ~rates =
   let n = Instance.n_flows inst and m = Instance.n_ifaces inst in
@@ -113,7 +113,7 @@ let check ?(tol = 1e-6) ?eps (inst : Instance.t) ~share ~rates =
          0.0
          (Array.mapi (fun i r -> r /. inst.weights.(i)) rates))
   in
-  let close a b = Float.abs (a -. b) <= tol *. scale in
+  let close a b = Feq.approx ~eps:(tol *. scale) a b in
   let violations = ref [] in
   (* (1) Equal normalized rates within each cluster. *)
   List.iter

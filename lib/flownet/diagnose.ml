@@ -17,7 +17,7 @@ let saturated_ifaces (inst : Instance.t) (alloc : Maxmin.allocation) =
         Array.fold_left (fun acc row -> acc +. row.(j)) 0.0 alloc.share
       in
       inst.capacities.(j) > 0.0
-      && load >= inst.capacities.(j) *. (1.0 -. 1e-6))
+      && Feq.saturated ~rel:1e-6 ~used:load ~cap:inst.capacities.(j))
     (List.init m Fun.id)
 
 let explain_one (inst : Instance.t) (alloc : Maxmin.allocation) clusters

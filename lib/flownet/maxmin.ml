@@ -27,7 +27,7 @@ let build (inst : Instance.t) ~demands =
     Array.fold_left Float.max 1.0 inst.capacities
     |> Float.max (Array.fold_left Float.max 0.0 demands)
   in
-  let eps = 1e-9 *. scale in
+  let eps = Feq.scale_eps ~rel:1e-9 scale in
   let demand_edges =
     Array.init n (fun i ->
         Maxflow.add_edge graph ~src:source ~dst:(flow_node i) ~cap:demands.(i))
@@ -59,7 +59,9 @@ let is_feasible ?eps (inst : Instance.t) ~demands =
   let net = build inst ~demands in
   let eps = Option.value eps ~default:(Float.max net.eps 1e-9) in
   let value = Maxflow.max_flow ~eps:net.eps net.graph ~src:source ~dst:net.sink in
-  value >= total_demand demands -. (eps *. Float.of_int (Array.length demands + 1))
+  Feq.geq
+    ~eps:(eps *. Float.of_int (Array.length demands + 1))
+    value (total_demand demands)
 
 let total_capacity (inst : Instance.t) =
   let used = Array.make (Instance.n_ifaces inst) false in
@@ -87,7 +89,7 @@ let solve ?(tol = 1e-9) (inst : Instance.t) =
     let demands = demands_at t in
     let net = build inst ~demands in
     let v = Maxflow.max_flow ~eps:net.eps net.graph ~src:source ~dst:net.sink in
-    v >= total_demand demands -. feas_slack
+    Feq.geq ~eps:feas_slack v (total_demand demands)
   in
   let any_active () = Array.exists (fun f -> not f) frozen in
   while any_active () do

@@ -1,0 +1,50 @@
+type t = {
+  hot_path_modules : string list;
+  float_sensitive_dirs : string list;
+  warning_allowlist : string list;
+}
+
+(* The hot-path set is every module on the per-decision path of the fast
+   engine plus the obs sinks it feeds: one stray polymorphic primitive
+   here undoes the O(active) work of PR 2.  [Drr_engine_ref] is included
+   deliberately — it is the executable spec and keeps its polymorphic
+   sorts, but only through committed baseline entries, so any *new* use
+   still fails the gate. *)
+let default =
+  {
+    hot_path_modules =
+      [
+        "drr_engine";
+        "drr_engine_ref";
+        "active_ring";
+        "event_queue";
+        "sink";
+        "recorder";
+        "counters";
+        "jsonl";
+        "event";
+      ];
+    float_sensitive_dirs = [ "lib/flownet"; "lib/stats" ];
+    warning_allowlist = [];
+  }
+
+let module_name_of_file file =
+  let base = Filename.basename file in
+  match String.index_opt base '.' with
+  | Some i -> String.sub base 0 i
+  | None -> base
+
+let is_hot_path t file =
+  let m = String.lowercase_ascii (module_name_of_file file) in
+  List.exists (String.equal m) t.hot_path_modules
+
+let is_float_sensitive t file =
+  List.exists
+    (fun dir ->
+      let prefix = dir ^ "/" in
+      String.length file > String.length prefix
+      && String.equal (String.sub file 0 (String.length prefix)) prefix)
+    t.float_sensitive_dirs
+
+let warning_allowed t file =
+  List.exists (String.equal file) t.warning_allowlist

@@ -1,0 +1,16 @@
+(** Repo-specific lint configuration: which files each rule applies to. *)
+
+type t = {
+  hot_path_modules : string list;
+      (** lowercase module names (no extension) subject to R1 *)
+  float_sensitive_dirs : string list;
+      (** repo-relative directory prefixes subject to R3 *)
+  warning_allowlist : string list;
+      (** repo-relative files allowed to carry [@@@ocaml.warning] (R4) *)
+}
+
+val default : t
+val module_name_of_file : string -> string
+val is_hot_path : t -> string -> bool
+val is_float_sensitive : t -> string -> bool
+val warning_allowed : t -> string -> bool

@@ -1,0 +1,147 @@
+type report = {
+  files_scanned : int;
+  findings : Finding.t list;  (** fresh findings, after baseline *)
+  baselined : int;
+  stale_baseline : (string * int) list;
+  parse_errors : (string * string) list;
+}
+
+let clean r =
+  (match r.findings with [] -> true | _ -> false)
+  && (match r.parse_errors with [] -> true | _ -> false)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let source_line lines n =
+  if n >= 1 && n <= Array.length lines then lines.(n - 1) else ""
+
+let lint_string ?(config = Config.default) ~file source =
+  match Engine.lint_source config ~file source with
+  | Ok findings -> findings
+  | Error msg -> invalid_arg ("Driver.lint_string: " ^ msg)
+
+let is_ml_file name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let skip_dir name =
+  match name with
+  | "_build" | ".git" | "_opam" -> true
+  | _ -> String.length name > 0 && Char.equal name.[0] '.'
+
+(* Collect repo-relative paths of .ml/.mli files under [root]/[dir],
+   sorted for deterministic reports. *)
+let rec collect root rel acc =
+  let abs = Filename.concat root rel in
+  if Sys.is_directory abs then
+    Array.fold_left
+      (fun acc name ->
+        if skip_dir name then acc
+        else collect root (Filename.concat rel name) acc)
+      acc (Sys.readdir abs)
+  else if is_ml_file rel then rel :: acc
+  else acc
+
+let scan_files ?(config = Config.default) ~root files =
+  let files = List.sort String.compare files in
+  let findings = ref [] and parse_errors = ref [] in
+  List.iter
+    (fun rel ->
+      let source = read_file (Filename.concat root rel) in
+      match Engine.lint_source config ~file:rel source with
+      | Ok fs ->
+          let lines = String.split_on_char '\n' source |> Array.of_list in
+          List.iter
+            (fun (f : Finding.t) ->
+              let k = Baseline.key ~source_line:(source_line lines f.line) f in
+              findings := (f, k) :: !findings)
+            fs
+      | Error msg -> parse_errors := (rel, msg) :: !parse_errors)
+    files;
+  let with_keys =
+    List.sort (fun ((a : Finding.t), _) (b, _) -> Finding.compare a b)
+      !findings
+  in
+  (List.length files, with_keys, List.rev !parse_errors)
+
+let scan ?(config = Config.default) ~root ~dirs ~baseline () =
+  let files =
+    List.concat_map
+      (fun dir ->
+        if Sys.file_exists (Filename.concat root dir) then collect root dir []
+        else [])
+      dirs
+  in
+  let files_scanned, with_keys, parse_errors =
+    scan_files ~config ~root files
+  in
+  let findings, baselined, stale_baseline = Baseline.apply baseline with_keys in
+  { files_scanned; findings; baselined; stale_baseline; parse_errors }
+
+let all_keys ?(config = Config.default) ~root ~dirs () =
+  let files =
+    List.concat_map
+      (fun dir ->
+        if Sys.file_exists (Filename.concat root dir) then collect root dir []
+        else [])
+      dirs
+  in
+  let _, with_keys, _ = scan_files ~config ~root files in
+  List.map snd with_keys
+
+let pp_report ppf r =
+  List.iter (fun f -> Format.fprintf ppf "@[<v>%a@]@." Finding.pp f) r.findings;
+  List.iter
+    (fun (file, msg) -> Format.fprintf ppf "%s: unparseable: %s@." file msg)
+    r.parse_errors;
+  List.iter
+    (fun (k, n) ->
+      Format.fprintf ppf
+        "stale baseline entry (%d unmatched): %s@.  (delete it: the site \
+         was fixed)@."
+        n
+        (String.concat " | " (String.split_on_char '\t' k)))
+    r.stale_baseline;
+  Format.fprintf ppf
+    "midrr-lint: %d file(s) scanned, %d fresh finding(s), %d baselined, %d \
+     stale baseline entr(ies), %d parse error(s)@."
+    r.files_scanned
+    (List.length r.findings)
+    r.baselined
+    (List.length r.stale_baseline)
+    (List.length r.parse_errors)
+
+let report_to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"files_scanned\": ";
+  Buffer.add_string buf (Int.to_string r.files_scanned);
+  Buffer.add_string buf ",\n  \"baselined\": ";
+  Buffer.add_string buf (Int.to_string r.baselined);
+  Buffer.add_string buf ",\n  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (Finding.to_json f))
+    r.findings;
+  Buffer.add_string buf "\n  ],\n  \"stale_baseline\": [";
+  List.iteri
+    (fun i (k, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"key\":\"%s\",\"count\":%d}"
+           (Finding.json_escape k) n))
+    r.stale_baseline;
+  Buffer.add_string buf "\n  ],\n  \"parse_errors\": [";
+  List.iteri
+    (fun i (file, msg) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"file\":\"%s\",\"error\":\"%s\"}"
+           (Finding.json_escape file) (Finding.json_escape msg)))
+    r.parse_errors;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Filesystem driver: walks source directories, lints every [.ml]/[.mli],
+    applies the baseline, and renders text or JSON reports. *)
+
+type report = {
+  files_scanned : int;
+  findings : Finding.t list;  (** fresh findings, after baseline *)
+  baselined : int;  (** findings absorbed by baseline entries *)
+  stale_baseline : (string * int) list;
+      (** baseline entries (key, unmatched count) that matched nothing *)
+  parse_errors : (string * string) list;
+}
+
+val clean : report -> bool
+(** No fresh findings and no parse errors.  Stale baseline entries are
+    reported but do not fail the gate — they mean a site was fixed. *)
+
+val lint_string : ?config:Config.t -> file:string -> string -> Finding.t list
+(** Lint in-memory source (test fixtures).  Raises [Invalid_argument] on
+    parse errors. *)
+
+val scan :
+  ?config:Config.t ->
+  root:string ->
+  dirs:string list ->
+  baseline:Baseline.t ->
+  unit ->
+  report
+
+val all_keys :
+  ?config:Config.t -> root:string -> dirs:string list -> unit -> string list
+(** Baseline keys of every current finding (for [--update-baseline]). *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> string

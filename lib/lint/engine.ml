@@ -1,0 +1,345 @@
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* [@midrr.lint.allow "R1 R5"] suppression attributes                  *)
+(* ------------------------------------------------------------------ *)
+
+let allow_attr_name = "midrr.lint.allow"
+
+let split_ids s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter_map (fun w ->
+         let w = String.trim w in
+         if String.equal w "" then None else Some w)
+
+let rules_of_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      List.filter_map Rule.of_id (split_ids s)
+  | _ -> []
+
+let allows_of_attrs attrs =
+  List.concat_map
+    (fun a ->
+      if String.equal a.attr_name.txt allow_attr_name then
+        rules_of_payload a.attr_payload
+      else [])
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic classifiers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_poly_compare = function
+  | Longident.Lident "compare"
+  | Longident.Ldot (Longident.Lident ("Stdlib" | "Pervasives"), "compare") ->
+      true
+  | _ -> false
+
+let is_poly_equality = function
+  | Longident.Lident ("=" | "<>")
+  | Longident.Ldot (Longident.Lident "Stdlib", ("=" | "<>")) ->
+      true
+  | _ -> false
+
+let poly_helper = function
+  | Longident.Ldot (Longident.Lident "Hashtbl", "hash") -> Some "Hashtbl.hash"
+  | Longident.Ldot (Longident.Lident "List", ("mem" | "assoc" | "mem_assoc"))
+    ->
+      Some "a polymorphic-equality List helper"
+  | _ -> None
+
+let is_obj_magic = function
+  | Longident.Ldot (Longident.Lident "Obj", "magic") -> true
+  | _ -> false
+
+let is_warning_attr name =
+  match name with
+  | "warning" | "ocaml.warning" | "warnerror" | "ocaml.warnerror" -> true
+  | _ -> false
+
+(* Float-returning [Float] module functions minus the ones that return
+   bool/int: evidence that an operand of [=] is a float. *)
+let float_fn_returns_float fn =
+  not
+    (List.exists (String.equal fn)
+       [
+         "equal";
+         "compare";
+         "is_nan";
+         "is_finite";
+         "is_integer";
+         "sign_bit";
+         "to_int";
+         "to_string";
+         "classify_float";
+         "hash";
+       ])
+
+let rec floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident
+      {
+        txt =
+          Longident.Lident
+            ( "nan" | "infinity" | "neg_infinity" | "epsilon_float"
+            | "max_float" | "min_float" );
+        _;
+      } ->
+      true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match txt with
+      | Longident.Lident ("+." | "-." | "*." | "/." | "**" | "~-." | "~+.")
+        ->
+          true
+      | Longident.Ldot (Longident.Lident "Float", fn) ->
+          float_fn_returns_float fn
+      | _ -> false)
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []); _ })
+    ->
+      true
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) | Pexp_open (_, body) ->
+      floatish body
+  | Pexp_ifthenelse (_, e1, e2) -> (
+      floatish e1 || match e2 with Some e2 -> floatish e2 | None -> false)
+  | _ -> false
+
+(* R5: does a top-level binding's right-hand side allocate mutable state
+   at module-initialization time?  Returns a short description.  Function
+   bodies are fine (state per call); [Atomic.make] is deliberately not
+   flagged — it is the domain-safe alternative the rule pushes toward. *)
+let rec mutable_init e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match txt with
+      | Longident.Lident "ref" | Longident.Ldot (Longident.Lident "Stdlib", "ref")
+        ->
+          Some "ref cell"
+      | Longident.Ldot (Longident.Lident "Hashtbl", ("create" | "of_seq")) ->
+          Some "Hashtbl.create"
+      | Longident.Ldot
+          ( Longident.Lident "Array",
+            ("make" | "create" | "init" | "make_matrix" | "create_float") ) ->
+          Some "mutable array"
+      | Longident.Ldot (Longident.Lident "Buffer", "create") ->
+          Some "Buffer.create"
+      | Longident.Ldot (Longident.Lident "Queue", ("create" | "of_seq")) ->
+          Some "Queue.create"
+      | Longident.Ldot (Longident.Lident "Stack", ("create" | "of_seq")) ->
+          Some "Stack.create"
+      | Longident.Ldot
+          (Longident.Lident "Bytes", ("create" | "make" | "init" | "of_string"))
+        ->
+          Some "mutable bytes"
+      | _ -> None)
+  | Pexp_array (_ :: _) -> Some "array literal"
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) | Pexp_open (_, body) ->
+      mutable_init body
+  | Pexp_constraint (e, _) -> mutable_init e
+  | Pexp_ifthenelse (_, e1, e2) -> (
+      match mutable_init e1 with
+      | Some _ as r -> r
+      | None -> ( match e2 with Some e2 -> mutable_init e2 | None -> None))
+  | Pexp_tuple es -> List.find_map mutable_init es
+  | Pexp_construct (_, Some arg) -> mutable_init arg
+  | Pexp_variant (_, Some arg) -> mutable_init arg
+  | Pexp_record (fields, _) -> List.find_map (fun (_, e) -> mutable_init e) fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The walker                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  config : Config.t;
+  file : string;
+  hot : bool;
+  floaty : bool;
+  warning_ok : bool;
+  mutable allow_stack : Rule.t list list;
+  mutable findings : Finding.t list;
+}
+
+let allowed ctx rule =
+  List.exists (List.exists (Rule.equal rule)) ctx.allow_stack
+
+let emit ctx ~loc rule msg =
+  if not (allowed ctx rule) then
+    ctx.findings <- Finding.v ~file:ctx.file ~loc ~rule msg :: ctx.findings
+
+let with_allows ctx allows f =
+  match allows with
+  | [] -> f ()
+  | _ ->
+      ctx.allow_stack <- allows :: ctx.allow_stack;
+      f ();
+      ctx.allow_stack <- List.tl ctx.allow_stack
+
+let check_ident ctx ~loc txt =
+  if ctx.hot then begin
+    if is_poly_compare txt then
+      emit ctx ~loc Rule.R1 "polymorphic compare in a hot-path module";
+    if is_poly_equality txt then
+      emit ctx ~loc Rule.R1
+        "polymorphic equality (= / <>) in a hot-path module";
+    match poly_helper txt with
+    | Some what ->
+        emit ctx ~loc Rule.R1 (what ^ " in a hot-path module")
+    | None -> ()
+  end;
+  if is_obj_magic txt then emit ctx ~loc Rule.R4 "Obj.magic"
+
+let check_expr ctx e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> check_ident ctx ~loc:e.pexp_loc txt
+  | Pexp_try (_, cases) ->
+      List.iter
+        (fun c ->
+          match (c.pc_lhs.ppat_desc, c.pc_guard) with
+          | Ppat_any, None ->
+              (* The allow attribute for this case sits on its rhs. *)
+              with_allows ctx (allows_of_attrs c.pc_rhs.pexp_attributes)
+                (fun () ->
+                  emit ctx ~loc:c.pc_lhs.ppat_loc Rule.R2
+                    "catch-all exception handler (try ... with _ ->)")
+          | _ -> ())
+        cases
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+        [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] )
+    when ctx.floaty && (floatish a || floatish b) ->
+      emit ctx ~loc:e.pexp_loc Rule.R3
+        (Printf.sprintf "float (%s) comparison on a computed value" op)
+  | _ -> ()
+
+let make_iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr it e =
+    with_allows ctx (allows_of_attrs e.pexp_attributes) (fun () ->
+        check_expr ctx e;
+        default.expr it e)
+  in
+  let value_binding it vb =
+    with_allows ctx (allows_of_attrs vb.pvb_attributes) (fun () ->
+        default.value_binding it vb)
+  in
+  let structure_item it item =
+    let allows =
+      match item.pstr_desc with
+      | Pstr_eval (_, attrs) -> allows_of_attrs attrs
+      | _ -> []
+    in
+    with_allows ctx allows (fun () -> default.structure_item it item)
+  in
+  let attribute it a =
+    if is_warning_attr a.attr_name.txt && not ctx.warning_ok then
+      emit ctx ~loc:a.attr_loc Rule.R4
+        (Printf.sprintf "warning suppression [@%s ...]" a.attr_name.txt);
+    default.attribute it a
+  in
+  { default with expr; value_binding; structure_item; attribute }
+
+(* R5 walks structure items directly rather than through the iterator:
+   only bindings evaluated at module-initialization time count, so the
+   recursion must stop at function boundaries and functor bodies. *)
+let rec r5_structure ctx str = List.iter (r5_item ctx) str
+
+and r5_item ctx item =
+  match item.pstr_desc with
+  | Pstr_value (_, vbs) -> List.iter (r5_binding ctx) vbs
+  | Pstr_module mb -> r5_module_expr ctx mb.pmb_expr
+  | Pstr_recmodule mbs ->
+      List.iter (fun mb -> r5_module_expr ctx mb.pmb_expr) mbs
+  | Pstr_include incl -> r5_module_expr ctx incl.pincl_mod
+  | _ -> ()
+
+and r5_module_expr ctx me =
+  match me.pmod_desc with
+  | Pmod_structure str -> r5_structure ctx str
+  | Pmod_constraint (me, _) -> r5_module_expr ctx me
+  | _ -> () (* functors/applications: state is per-instantiation *)
+
+and r5_binding ctx vb =
+  let allows =
+    allows_of_attrs vb.pvb_attributes
+    @ allows_of_attrs vb.pvb_expr.pexp_attributes
+  in
+  with_allows ctx allows (fun () ->
+      match mutable_init vb.pvb_expr with
+      | Some what ->
+          emit ctx ~loc:vb.pvb_loc Rule.R5
+            (Printf.sprintf
+               "top-level mutable state (%s) created at module init" what)
+      | None -> ())
+
+let make_ctx config ~file =
+  {
+    config;
+    file;
+    hot = Config.is_hot_path config file;
+    floaty = Config.is_float_sensitive config file;
+    warning_ok = Config.warning_allowed config file;
+    allow_stack = [];
+    findings = [];
+  }
+
+let file_wide_allows_str str =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute a when String.equal a.attr_name.txt allow_attr_name ->
+          rules_of_payload a.attr_payload
+      | _ -> [])
+    str
+
+let file_wide_allows_sig sg =
+  List.concat_map
+    (fun item ->
+      match item.psig_desc with
+      | Psig_attribute a when String.equal a.attr_name.txt allow_attr_name ->
+          rules_of_payload a.attr_payload
+      | _ -> [])
+    sg
+
+let lint_structure config ~file str =
+  let ctx = make_ctx config ~file in
+  ctx.allow_stack <- [ file_wide_allows_str str ];
+  let it = make_iterator ctx in
+  it.structure it str;
+  r5_structure ctx str;
+  List.sort_uniq Finding.compare ctx.findings
+
+let lint_signature config ~file sg =
+  let ctx = make_ctx config ~file in
+  ctx.allow_stack <- [ file_wide_allows_sig sg ];
+  let it = make_iterator ctx in
+  it.signature it sg;
+  List.sort_uniq Finding.compare ctx.findings
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lint_source config ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  match
+    if Filename.check_suffix file ".mli" then
+      `Sig (Parse.interface lexbuf)
+    else `Str (Parse.implementation lexbuf)
+  with
+  | `Str str -> Ok (lint_structure config ~file str)
+  | `Sig sg -> Ok (lint_signature config ~file sg)
+  | exception exn ->
+      Error
+        (Printf.sprintf "%s: parse error: %s" file (Printexc.to_string exn))

@@ -1,0 +1,19 @@
+(** The AST walker: parses OCaml source with compiler-libs and applies
+    rules R1–R5.  Suppression is per-site via [[@midrr.lint.allow "R1"]]
+    (attribute payload: space- or comma-separated rule ids) on an
+    expression, value binding or [Pstr_eval] item, or file-wide via a
+    floating [[@@@midrr.lint.allow "..."]]. *)
+
+val allow_attr_name : string
+
+val lint_structure :
+  Config.t -> file:string -> Parsetree.structure -> Finding.t list
+
+val lint_signature :
+  Config.t -> file:string -> Parsetree.signature -> Finding.t list
+
+val lint_source :
+  Config.t -> file:string -> string -> (Finding.t list, string) result
+(** [lint_source config ~file source] parses [source] as an interface
+    when [file] ends in [.mli] and as an implementation otherwise.
+    [Error _] carries a parse-error description. *)

@@ -1,0 +1,54 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : Rule.t;
+  message : string;
+}
+
+let v ~file ~loc ~rule message =
+  let pos = loc.Location.loc_start in
+  {
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    rule;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else Rule.compare a.rule b.rule
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s@,  hint: %s" t.file t.line t.col
+    (Rule.id t.rule) t.message (Rule.hint t.rule)
+
+(* Minimal JSON string escaping: enough for file paths and our own
+   messages (no control characters beyond the usual suspects). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\"}"
+    (json_escape t.file) t.line t.col (Rule.id t.rule) (json_escape t.message)
+    (json_escape (Rule.hint t.rule))

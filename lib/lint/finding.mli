@@ -1,0 +1,15 @@
+(** A single lint finding: where, which rule, and a one-line message. *)
+
+type t = {
+  file : string;  (** repo-relative path, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  rule : Rule.t;
+  message : string;
+}
+
+val v : file:string -> loc:Location.t -> rule:Rule.t -> string -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val json_escape : string -> string
+val to_json : t -> string

@@ -1,0 +1,46 @@
+type t = R1 | R2 | R3 | R4 | R5
+
+let all = [ R1; R2; R3; R4; R5 ]
+
+let id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let of_id = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+let title = function
+  | R1 -> "polymorphic compare/equality in hot-path module"
+  | R2 -> "catch-all exception handler"
+  | R3 -> "float equality on computed values"
+  | R4 -> "Obj.magic or warning suppression"
+  | R5 -> "top-level mutable state at module init"
+
+let hint = function
+  | R1 ->
+      "use a typed comparator (Int.compare, Int.equal, Float.equal, \
+       String.equal) instead of the polymorphic primitive"
+  | R2 ->
+      "match the specific exceptions you expect; a wildcard handler \
+       swallows Out_of_memory, Stack_overflow and programming errors"
+  | R3 ->
+      "compare through an epsilon helper (Midrr_flownet.Feq) or, if exact \
+       equality is intended, say so with [@midrr.lint.allow \"R3\"]"
+  | R4 ->
+      "remove Obj.magic / the warning suppression, or add the file to the \
+       lint allowlist with a justification"
+  | R5 ->
+      "allocate the state inside a constructor function, use Atomic.t, or \
+       annotate the binding with [@midrr.lint.allow \"R5\"] and a \
+       domain-safety justification"
+
+let equal a b = String.equal (id a) (id b)
+let compare a b = String.compare (id a) (id b)

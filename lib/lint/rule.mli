@@ -1,0 +1,19 @@
+(** The midrr-lint rule set.
+
+    Each rule enforces one scheduler-specific invariant; see DESIGN.md
+    section 9 for the rationale behind every rule. *)
+
+type t =
+  | R1  (** no polymorphic [compare]/[=]/[Hashtbl.hash] in hot-path modules *)
+  | R2  (** no [try ... with _ ->] catch-alls *)
+  | R3  (** no float [=]/[<>] on computed values in flownet/stats *)
+  | R4  (** no [Obj.magic], no warning suppressions outside the allowlist *)
+  | R5  (** no top-level mutable state outside the declared allowlist *)
+
+val all : t list
+val id : t -> string
+val of_id : string -> t option
+val title : t -> string
+val hint : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -21,16 +21,17 @@ let cell t ~flow ~iface =
   Option.value (Hashtbl.find_opt t.cells (flow, iface)) ~default:0
 
 let flow_total t f =
-  Hashtbl.fold (fun (f', _) v acc -> if f' = f then acc + v else acc) t.cells 0
+  Hashtbl.fold (fun (f', _) v acc -> if Int.equal f' f then acc + v else acc) t.cells 0
 
 let iface_total t j =
-  Hashtbl.fold (fun (_, j') v acc -> if j' = j then acc + v else acc) t.cells 0
+  Hashtbl.fold (fun (_, j') v acc -> if Int.equal j' j then acc + v else acc) t.cells 0
 
 let grand_total t = Hashtbl.fold (fun _ v acc -> acc + v) t.cells 0
 
 let cells t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cells []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun ((fa, ja), _) ((fb, jb), _) ->
+         match Int.compare fa fb with 0 -> Int.compare ja jb | c -> c)
 
 let copy t = { kind = t.kind; cells = Hashtbl.copy t.cells }
 

@@ -8,11 +8,11 @@ type 'a t = {
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
-let is_empty t = t.size = 0
+let is_empty t = Int.equal t.size 0
 
 let length t = t.size
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b = a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
 
 let swap t i j =
   let tmp = t.heap.(i) in
@@ -33,7 +33,7 @@ let rec sift_down t i =
   let smallest = ref i in
   if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
   if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
+  if not (Int.equal !smallest i) then begin
     swap t i !smallest;
     sift_down t !smallest
   end
@@ -42,7 +42,7 @@ let push t ~time item =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
   let entry = { time; seq = t.next_seq; item } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.heap then begin
+  if Int.equal t.size (Array.length t.heap) then begin
     let capacity = Stdlib.max 16 (2 * Array.length t.heap) in
     let heap = Array.make capacity entry in
     Array.blit t.heap 0 heap 0 t.size;
@@ -52,10 +52,10 @@ let push t ~time item =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if Int.equal t.size 0 then None else Some t.heap.(0).time
 
 let pop t =
-  if t.size = 0 then None
+  if Int.equal t.size 0 then None
   else begin
     let top = t.heap.(0) in
     t.size <- t.size - 1;

@@ -15,7 +15,8 @@ let of_weighted pairs =
     List.fold_left
       (fun acc (v, w) ->
         match acc with
-        | (v', w') :: rest when v' = v -> (v', w' +. w) :: rest
+        (* Exact duplicate merge: values already sorted by Float.compare. *)
+        | (v', w') :: rest when Float.equal v' v -> (v', w' +. w) :: rest
         | _ -> (v, w) :: acc)
       [] sorted
     |> List.rev

@@ -1,0 +1,231 @@
+(* Tests for the midrr-lint static-analysis pass: a bad-fixture corpus in
+   which every rule must trigger, suppression/baseline mechanics, and a
+   clean-repo assertion mirroring the `dune build @lint` gate. *)
+
+module Rule = Midrr_lint.Rule
+module Finding = Midrr_lint.Finding
+module Config = Midrr_lint.Config
+module Baseline = Midrr_lint.Baseline
+module Driver = Midrr_lint.Driver
+
+let hot_file = "lib/core/drr_engine.ml"
+let floaty_file = "lib/flownet/maxmin.ml"
+let plain_file = "lib/core/oracle.ml"
+
+let lint ?config ~file source = Driver.lint_string ?config ~file source
+
+let rules_of findings =
+  List.map (fun (f : Finding.t) -> Rule.id f.rule) findings
+  |> List.sort_uniq String.compare
+
+let check_rules what expected findings =
+  Alcotest.(check (list string)) what expected (rules_of findings)
+
+(* --- R1: polymorphic primitives in hot-path modules -------------------- *)
+
+let test_r1_compare () =
+  check_rules "bare compare" [ "R1" ]
+    (lint ~file:hot_file "let sorted xs = List.sort compare xs");
+  check_rules "Stdlib.compare" [ "R1" ]
+    (lint ~file:hot_file "let c a b = Stdlib.compare a b");
+  check_rules "poly equality" [ "R1" ]
+    (lint ~file:hot_file "let f t = t.size = 0");
+  check_rules "poly disequality" [ "R1" ]
+    (lint ~file:hot_file "let f a b = a <> b");
+  check_rules "Hashtbl.hash" [ "R1" ]
+    (lint ~file:hot_file "let h x = Hashtbl.hash x");
+  check_rules "List.mem" [ "R1" ]
+    (lint ~file:hot_file "let f x xs = List.mem x xs")
+
+let test_r1_scope () =
+  check_rules "not a hot-path module" []
+    (lint ~file:plain_file "let sorted xs = List.sort compare xs");
+  check_rules "typed comparator is fine" []
+    (lint ~file:hot_file "let sorted xs = List.sort Int.compare xs");
+  check_rules "Int.equal is fine" [] (lint ~file:hot_file "let f t = Int.equal t 0")
+
+(* --- R2: catch-all exception handlers ----------------------------------- *)
+
+let test_r2 () =
+  check_rules "with _ ->" [ "R2" ]
+    (lint ~file:plain_file "let f () = try g () with _ -> 0");
+  check_rules "catch-all among cases" [ "R2" ]
+    (lint ~file:plain_file
+       "let f () = try g () with Not_found -> 1 | _ -> 0");
+  check_rules "specific exception is fine" []
+    (lint ~file:plain_file "let f () = try g () with Not_found -> 0");
+  check_rules "named handler is fine (can reraise)" []
+    (lint ~file:plain_file "let f () = try g () with e -> raise e")
+
+(* --- R3: float equality on computed values ------------------------------ *)
+
+let test_r3 () =
+  check_rules "= float literal" [ "R3" ]
+    (lint ~file:floaty_file "let f x = x = 0.0");
+  check_rules "<> float literal" [ "R3" ]
+    (lint ~file:floaty_file "let f x = x <> 1.5");
+  check_rules "computed float operand" [ "R3" ]
+    (lint ~file:floaty_file "let f a b c = (a +. b) = c");
+  check_rules "Float module result" [ "R3" ]
+    (lint ~file:floaty_file "let f a b = Float.abs a = b")
+
+let test_r3_scope () =
+  check_rules "int comparison is fine" []
+    (lint ~file:floaty_file "let f x = x = 0");
+  check_rules "only in flownet/stats" []
+    (lint ~file:"lib/sim/link.ml" "let f x = x = 0.0");
+  check_rules "Float.equal is the fix" []
+    (lint ~file:floaty_file "let f x = Float.equal x 0.0")
+
+(* --- R4: Obj.magic and warning suppressions ----------------------------- *)
+
+let test_r4 () =
+  check_rules "Obj.magic" [ "R4" ]
+    (lint ~file:plain_file "let f x = Obj.magic x");
+  check_rules "item warning attribute" [ "R4" ]
+    (lint ~file:plain_file "let f x = x [@@ocaml.warning \"-32\"]");
+  check_rules "floating warning attribute" [ "R4" ]
+    (lint ~file:plain_file "[@@@warning \"-27\"]\nlet f x = x");
+  check_rules "allowlisted file may suppress warnings" []
+    (lint
+       ~config:
+         { Config.default with warning_allowlist = [ plain_file ] }
+       ~file:plain_file "let f x = x [@@ocaml.warning \"-32\"]")
+
+(* --- R5: top-level mutable state ---------------------------------------- *)
+
+let test_r5 () =
+  check_rules "top-level ref" [ "R5" ] (lint ~file:plain_file "let c = ref 0");
+  check_rules "top-level Hashtbl" [ "R5" ]
+    (lint ~file:plain_file "let tbl = Hashtbl.create 16");
+  check_rules "top-level array literal" [ "R5" ]
+    (lint ~file:plain_file "let xs = [| 1; 2 |]");
+  check_rules "mutable state inside a record" [ "R5" ]
+    (lint ~file:plain_file "let s = { tbl = Hashtbl.create 4 }");
+  check_rules "nested module counts" [ "R5" ]
+    (lint ~file:plain_file "module M = struct let c = ref 0 end")
+
+let test_r5_scope () =
+  check_rules "inside a function is fine" []
+    (lint ~file:plain_file "let make () = ref 0");
+  check_rules "Atomic is the domain-safe fix" []
+    (lint ~file:plain_file "let c = Atomic.make 0");
+  check_rules "empty array literal is immutable" []
+    (lint ~file:plain_file "let xs = [||]")
+
+(* --- suppression mechanics ---------------------------------------------- *)
+
+let test_allow_attribute () =
+  check_rules "per-binding allow" []
+    (lint ~file:plain_file "let c = ref 0 [@midrr.lint.allow \"R5\"]");
+  check_rules "allow lists several rules" []
+    (lint ~file:plain_file "let c = ref 0 [@midrr.lint.allow \"R1, R5\"]");
+  check_rules "allow for the wrong rule does not mask" [ "R5" ]
+    (lint ~file:plain_file "let c = ref 0 [@midrr.lint.allow \"R1\"]");
+  check_rules "file-wide floating allow" []
+    (lint ~file:hot_file
+       "[@@@midrr.lint.allow \"R1\"]\nlet sorted xs = List.sort compare xs");
+  check_rules "expression-scoped allow" []
+    (lint ~file:floaty_file
+       "let f sq = if ((sq = 0.0) [@midrr.lint.allow \"R3\"]) then 0 else 1")
+
+let test_baseline_ratchet () =
+  let source = "let a = ref 0\nlet b = ref 0" in
+  let findings = lint ~file:plain_file source in
+  Alcotest.(check int) "two R5 findings" 2 (List.length findings);
+  let lines = String.split_on_char '\n' source |> Array.of_list in
+  let with_keys =
+    List.map
+      (fun (f : Finding.t) ->
+        (f, Baseline.key ~source_line:lines.(f.line - 1) f))
+      findings
+  in
+  (* A baseline holding only the first site: the second stays fresh. *)
+  let b1 = Baseline.of_keys [ snd (List.hd with_keys) ] in
+  let fresh, baselined, stale = Baseline.apply b1 with_keys in
+  Alcotest.(check int) "one absorbed" 1 baselined;
+  Alcotest.(check int) "one fresh" 1 (List.length fresh);
+  Alcotest.(check int) "no stale" 0 (List.length stale);
+  (* Multiset semantics: identical line text needs one entry per site. *)
+  let keys = List.map snd with_keys in
+  Alcotest.(check bool) "same key (same normalized text)" true
+    (match keys with
+    | [ k1; k2 ] ->
+        (* Different line numbers but identical normalized content would
+           give different keys only through the text, which differs here
+           (a vs b).  Check both absorb fully when both are baselined. *)
+        let fresh, _, _ =
+          Baseline.apply (Baseline.of_keys [ k1; k2 ]) with_keys
+        in
+        List.length fresh = 0
+    | _ -> false);
+  (* Ratchet: a stale entry is reported once the site is fixed. *)
+  let _, _, stale =
+    Baseline.apply (Baseline.of_keys [ "R5\tghost.ml\tlet g = ref 0" ]) with_keys
+  in
+  Alcotest.(check int) "stale entry surfaces" 1 (List.length stale)
+
+let test_baseline_normalization () =
+  Alcotest.(check string)
+    "whitespace collapses" "let a = ref 0"
+    (Baseline.normalize_line "  let   a =\tref 0  ")
+
+(* --- the real repo stays clean ------------------------------------------ *)
+
+(* Under `dune runtest` the cwd is _build/default/test and the declared
+   source-tree deps sit one level up; under `dune exec` from a checkout
+   the repo root may be the cwd itself or further up. *)
+let repo_root =
+  let looks_like_root d =
+    Sys.file_exists (Filename.concat d "lint.baseline")
+    && Sys.file_exists (Filename.concat d "lib")
+  in
+  match List.find_opt looks_like_root [ ".."; "."; "../.."; "../../.." ] with
+  | Some d -> d
+  | None -> Alcotest.failf "cannot locate repo root from %s" (Sys.getcwd ())
+
+let test_clean_repo () =
+  let baseline =
+    match Baseline.load (Filename.concat repo_root "lint.baseline") with
+    | Ok b -> b
+    | Error msg -> Alcotest.failf "cannot load lint.baseline: %s" msg
+  in
+  let report =
+    Driver.scan ~root:repo_root ~dirs:[ "lib"; "bin"; "bench" ] ~baseline ()
+  in
+  List.iter
+    (fun (file, msg) -> Alcotest.failf "unparseable %s: %s" file msg)
+    report.parse_errors;
+  (match report.findings with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "fresh finding: %s:%d [%s] %s (run dune build @lint)"
+        f.file f.line (Rule.id f.rule) f.message);
+  Alcotest.(check (list (pair string int))) "no stale baseline entries" []
+    report.stale_baseline;
+  if report.files_scanned < 100 then
+    Alcotest.failf "suspiciously few files scanned: %d" report.files_scanned
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 triggers" `Quick test_r1_compare;
+          Alcotest.test_case "R1 scope" `Quick test_r1_scope;
+          Alcotest.test_case "R2 triggers" `Quick test_r2;
+          Alcotest.test_case "R3 triggers" `Quick test_r3;
+          Alcotest.test_case "R3 scope" `Quick test_r3_scope;
+          Alcotest.test_case "R4 triggers" `Quick test_r4;
+          Alcotest.test_case "R5 triggers" `Quick test_r5;
+          Alcotest.test_case "R5 scope" `Quick test_r5_scope;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "allow attribute" `Quick test_allow_attribute;
+          Alcotest.test_case "baseline ratchet" `Quick test_baseline_ratchet;
+          Alcotest.test_case "normalization" `Quick test_baseline_normalization;
+        ] );
+      ( "repo",
+        [ Alcotest.test_case "clean under baseline" `Quick test_clean_repo ] );
+    ]
