@@ -34,14 +34,23 @@ type mode = Plain | Service_flags
 
 type flag_policy = Per_turn | Per_send
 
+(* A single-field all-float record is stored flat, so [cell.fc <- x] writes
+   the raw float in place.  Keeping DC_ij behind one of these (instead of a
+   [mutable float] field in the mixed [link] record) is what makes deficit
+   updates allocation-free: a float store into a mixed record must box. *)
+type fcell = { mutable fc : float }
+
 type link = {
   l_flow : flow_state;
   l_iface : iface_state;
+  l_self : link option;
+      (* [Some] of this very link, tied at construction; cursor updates
+         reuse it so moving C_j never allocates a fresh option *)
   mutable flag : int;
       (* SF_ij generalized to a saturating counter of services elsewhere
          since this interface last considered the flow; the paper's one-bit
          flag is the [counter_max = 1] case *)
-  mutable l_deficit : float; (* DC_ij, bytes: each interface runs its own DRR *)
+  l_deficit : fcell; (* DC_ij, bytes: each interface runs its own DRR *)
   mutable l_served : int;
   mutable l_turns : int;
   mutable l_flow_idx : int; (* position in the owning flow's link vector *)
@@ -233,7 +242,7 @@ let remove_link ifc link =
     | Some cur when cur == link ->
         ifc.i_cursor <-
           (if Active_ring.length ifc.i_ring <= 1 then None
-           else Some (Aring.next ifc.i_ring link))
+           else (Aring.next ifc.i_ring link).l_self)
     | _ -> ());
     Aring.remove ifc.i_ring link
   end
@@ -257,8 +266,9 @@ let make_link fs ifc =
     {
       l_flow = fs;
       l_iface = ifc;
+      l_self = Some link;
       flag = 0;
-      l_deficit = 0.0;
+      l_deficit = { fc = 0.0 };
       l_served = 0;
       l_turns = 0;
       l_flow_idx = -1;
@@ -425,7 +435,7 @@ let enqueue t (p : Packet.t) =
    "SF_ik = 1, forall k <> j"). *)
 let begin_turn t ifc link =
   let flow = link.l_flow in
-  link.l_deficit <- link.l_deficit +. flow.f_quantum;
+  link.l_deficit.fc <- link.l_deficit.fc +. flow.f_quantum;
   flow.f_turns <- flow.f_turns + 1;
   link.l_turns <- link.l_turns + 1;
   (match t.t_sink with
@@ -446,102 +456,109 @@ let begin_turn t ifc link =
    insufficient-deficit step the cursor must move past the current flow,
    whereas after the current flow emptied (and was removed from the ring)
    the cursor has already been repositioned on the successor. *)
+(* Skip flows served elsewhere since our last visit, clearing their flags
+   as we pass (Algorithm 3.2).  Terminates: every skipped flow is
+   unflagged, so the second lap stops at the first flow.  Tail-recursive
+   rather than a [ref] loop so the advancement allocates nothing. *)
+let rec skip_flagged t ifc n =
+  if n.flag > 0 then begin
+    t.t_considered <- t.t_considered + 1;
+    n.flag <- n.flag - 1;
+    (match t.t_sink with
+    | None -> ()
+    | Some s -> s (Event.Flag_reset { flow = n.l_flow.f_id; iface = ifc.i_id }));
+    skip_flagged t ifc (Aring.next ifc.i_ring n)
+  end
+  else n
+
 let check_next t ifc ~skip_current =
   let cur =
     match ifc.i_cursor with
     | Some n when n.ar_linked -> n
     | _ -> Option.get (Active_ring.head ifc.i_ring)
   in
-  let n = ref (if skip_current then Aring.next ifc.i_ring cur else cur) in
-  (match t.t_mode with
-  | Plain -> ()
-  | Service_flags ->
-      (* Skip flows served elsewhere since our last visit, clearing their
-         flags as we pass (Algorithm 3.2).  Terminates: every skipped flow
-         is unflagged, so the second lap stops at the first flow. *)
-      while !n.flag > 0 do
-        t.t_considered <- t.t_considered + 1;
-        let link = !n in
-        link.flag <- link.flag - 1;
-        (match t.t_sink with
-        | None -> ()
-        | Some s ->
-            s (Event.Flag_reset { flow = link.l_flow.f_id; iface = ifc.i_id }));
-        n := Aring.next ifc.i_ring !n
-      done);
-  ifc.i_cursor <- Some !n;
-  begin_turn t ifc !n
+  let start = if skip_current then Aring.next ifc.i_ring cur else cur in
+  let n =
+    match t.t_mode with Plain -> start | Service_flags -> skip_flagged t ifc start
+  in
+  ifc.i_cursor <- n.l_self;
+  begin_turn t ifc n
 
-let next_packet t j =
-  let ifc = iface_state t j in
-  let rec loop () =
-    if Active_ring.is_empty ifc.i_ring then None
-    else begin
-      let cur =
-        match ifc.i_cursor with
-        | Some n when n.ar_linked -> n
-        | _ ->
-            (* First decision on this ring (or cursor lost with the ring):
-               start a turn for the head flow. *)
-            let head = Option.get (Active_ring.head ifc.i_ring) in
-            ifc.i_cursor <- Some head;
-            begin_turn t ifc head;
-            head
-      in
-      let link = cur in
-      let flow = link.l_flow in
-      let size = Pktqueue.head_size flow.f_queue in
-      t.t_considered <- t.t_considered + 1;
-      if Float.of_int size <= link.l_deficit then begin
-        let pkt = Option.get (Pktqueue.pop flow.f_queue) in
-        link.l_deficit <- link.l_deficit -. Float.of_int size;
-        flow.f_served <- flow.f_served + size;
-        link.l_served <- link.l_served + size;
-        (match t.t_sink with
-        | None -> ()
-        | Some s ->
-            s
-              (Event.Serve
-                 {
-                   flow = flow.f_id;
-                   iface = j;
-                   bytes = size;
-                   deficit = link.l_deficit;
-                 }));
-        (* Under [Per_send], "when interface k serves flow i" (paper §3.1
-           prose) is read as every transmission, refreshing the flags during
-           the whole turn; the default [Per_turn] follows Algorithm 3.2 and
-           raises them only at selection (in [begin_turn]). *)
-        (match (t.t_mode, t.t_flag_policy) with
-        | Service_flags, Per_send ->
-            let links = flow.f_links in
-            for i = 0 to links.lv_len - 1 do
-              let other = links.lv_arr.(i) in
-              if other != link then
-                other.flag <- Stdlib.min t.t_counter_max (other.flag + 1)
-            done
-        | _ -> ());
-        if Pktqueue.is_empty flow.f_queue then begin
-          (* BL_i = 0: reset the deficits and leave every round. *)
+(* The decision loop behind both [next_packet] variants.  A top-level
+   function (not a local [let rec]) so no closure is built per call, and
+   the idle case returns the [Packet.none] sentinel instead of [None] so a
+   sinkless decision allocates no minor words at all. *)
+let rec decide t ifc j =
+  if Active_ring.is_empty ifc.i_ring then Packet.none
+  else begin
+    let link =
+      match ifc.i_cursor with
+      | Some n when n.ar_linked -> n
+      | _ ->
+          (* First decision on this ring (or cursor lost with the ring):
+             start a turn for the head flow. *)
+          let head = Option.get (Active_ring.head ifc.i_ring) in
+          ifc.i_cursor <- head.l_self;
+          begin_turn t ifc head;
+          head
+    in
+    let flow = link.l_flow in
+    let size = Pktqueue.head_size flow.f_queue in
+    t.t_considered <- t.t_considered + 1;
+    if Float.of_int size <= link.l_deficit.fc then begin
+      let pkt = Pktqueue.pop_exn flow.f_queue in
+      link.l_deficit.fc <- link.l_deficit.fc -. Float.of_int size;
+      flow.f_served <- flow.f_served + size;
+      link.l_served <- link.l_served + size;
+      (match t.t_sink with
+      | None -> ()
+      | Some s ->
+          s
+            (Event.Serve
+               {
+                 flow = flow.f_id;
+                 iface = j;
+                 bytes = size;
+                 deficit = link.l_deficit.fc;
+               }));
+      (* Under [Per_send], "when interface k serves flow i" (paper §3.1
+         prose) is read as every transmission, refreshing the flags during
+         the whole turn; the default [Per_turn] follows Algorithm 3.2 and
+         raises them only at selection (in [begin_turn]). *)
+      (match (t.t_mode, t.t_flag_policy) with
+      | Service_flags, Per_send ->
           let links = flow.f_links in
           for i = 0 to links.lv_len - 1 do
-            links.lv_arr.(i).l_deficit <- 0.0
-          done;
-          deactivate flow;
-          if not (Active_ring.is_empty ifc.i_ring) then
-            check_next t ifc ~skip_current:false
-        end
-        else if Float.of_int (Pktqueue.head_size flow.f_queue) > link.l_deficit
-        then check_next t ifc ~skip_current:true;
-        Some pkt
+            let other = links.lv_arr.(i) in
+            if other != link then
+              other.flag <- Stdlib.min t.t_counter_max (other.flag + 1)
+          done
+      | _ -> ());
+      if Pktqueue.is_empty flow.f_queue then begin
+        (* BL_i = 0: reset the deficits and leave every round. *)
+        let links = flow.f_links in
+        for i = 0 to links.lv_len - 1 do
+          links.lv_arr.(i).l_deficit.fc <- 0.0
+        done;
+        deactivate flow;
+        if not (Active_ring.is_empty ifc.i_ring) then
+          check_next t ifc ~skip_current:false
       end
-      else begin
-        check_next t ifc ~skip_current:true;
-        loop ()
-      end
+      else if Float.of_int (Pktqueue.head_size flow.f_queue) > link.l_deficit.fc
+      then check_next t ifc ~skip_current:true;
+      pkt
     end
-  in
-  loop ()
+    else begin
+      check_next t ifc ~skip_current:true;
+      decide t ifc j
+    end
+  end
+
+let next_packet_noalloc t j = decide t (iface_state t j) j
+
+let next_packet t j =
+  let p = next_packet_noalloc t j in
+  if Packet.is_none p then None else Some p
 
 (* --- accounting -------------------------------------------------------- *)
 
@@ -559,14 +576,14 @@ let deficit t f =
   let fs = flow_state t f in
   let acc = ref 0.0 in
   for i = 0 to fs.f_links.lv_len - 1 do
-    acc := Float.max !acc fs.f_links.lv_arr.(i).l_deficit
+    acc := Float.max !acc fs.f_links.lv_arr.(i).l_deficit.fc
   done;
   !acc
 
 let deficit_on t ~flow ~iface =
   match link_for (flow_state t flow) iface with
   | None -> 0.0
-  | Some l -> l.l_deficit
+  | Some l -> l.l_deficit.fc
 
 let quantum t f = (flow_state t f).f_quantum
 

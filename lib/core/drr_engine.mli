@@ -46,6 +46,12 @@ type flag_policy =
 
 include Sched_intf.S
 
+val next_packet_noalloc : t -> Types.iface_id -> Packet.t
+(** Allocation-free {!next_packet}: returns {!Packet.none} (compare with
+    {!Packet.is_none}) instead of [None] when the interface has nothing to
+    send.  With no sink subscribed, a decision through this entry point
+    allocates zero minor words — the property the bench harness gates on. *)
+
 val create :
   ?base_quantum:int -> ?queue_capacity:int -> ?flag_policy:flag_policy ->
   ?counter_max:int -> mode -> t

@@ -8,6 +8,13 @@ let create ~flow ~size ~arrival =
   if size <= 0 then invalid_arg "Packet.create: size <= 0";
   { flow; size; seq = 1 + Atomic.fetch_and_add counter 1; arrival }
 
+(* Statically allocated sentinel for allocation-free "no packet" paths
+   (ring-buffer fillers, [Drr_engine.next_packet_noalloc]).  Identified by
+   physical equality; never enqueue or transmit it. *)
+let none = { flow = -1; size = 0; seq = 0; arrival = Float.neg_infinity }
+
+let is_none p = p == none
+
 let compare_seq a b = Int.compare a.seq b.seq
 
 let pp ppf t =

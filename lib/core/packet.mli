@@ -15,6 +15,15 @@ val create : flow:Types.flow_id -> size:int -> arrival:float -> t
 (** Allocate a packet with a fresh sequence number.  Raises
     [Invalid_argument] if [size <= 0]. *)
 
+val none : t
+(** A statically allocated sentinel meaning "no packet" ([flow = -1],
+    [size = 0], [seq = 0]).  Used by allocation-free hot-path APIs
+    ({!Drr_engine.next_packet_noalloc}) and as array filler in packet
+    ring buffers; compare with [==] (or {!is_none}).  Never schedule it. *)
+
+val is_none : t -> bool
+(** [is_none p] is [p == none]. *)
+
 val compare_seq : t -> t -> int
 
 val pp : Format.formatter -> t -> unit

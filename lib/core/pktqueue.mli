@@ -13,6 +13,10 @@ val push : t -> Packet.t -> bool
 
 val pop : t -> Packet.t option
 
+val pop_exn : t -> Packet.t
+(** Allocation-free [pop] for hot paths that already know the queue is
+    non-empty.  Raises [Invalid_argument] on an empty queue. *)
+
 val peek : t -> Packet.t option
 (** Head-of-line packet without removing it. *)
 

@@ -2,6 +2,7 @@ type t = {
   hot_path_modules : string list;
   float_sensitive_dirs : string list;
   warning_allowlist : string list;
+  domain_spawn_dirs : string list;
 }
 
 (* The hot-path set is every module on the per-decision path of the fast
@@ -26,6 +27,9 @@ let default =
       ];
     float_sensitive_dirs = [ "lib/flownet"; "lib/stats" ];
     warning_allowlist = [];
+    (* The parallel executor is the single owner of raw domains; every
+       other module must go through its deterministic merge. *)
+    domain_spawn_dirs = [ "lib/par" ];
   }
 
 let module_name_of_file file =
@@ -38,13 +42,16 @@ let is_hot_path t file =
   let m = String.lowercase_ascii (module_name_of_file file) in
   List.exists (String.equal m) t.hot_path_modules
 
+let under_dir file dir =
+  let prefix = dir ^ "/" in
+  String.length file > String.length prefix
+  && String.equal (String.sub file 0 (String.length prefix)) prefix
+
 let is_float_sensitive t file =
-  List.exists
-    (fun dir ->
-      let prefix = dir ^ "/" in
-      String.length file > String.length prefix
-      && String.equal (String.sub file 0 (String.length prefix)) prefix)
-    t.float_sensitive_dirs
+  List.exists (under_dir file) t.float_sensitive_dirs
 
 let warning_allowed t file =
   List.exists (String.equal file) t.warning_allowlist
+
+let domain_spawn_allowed t file =
+  List.exists (under_dir file) t.domain_spawn_dirs

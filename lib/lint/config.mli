@@ -7,6 +7,9 @@ type t = {
       (** repo-relative directory prefixes subject to R3 *)
   warning_allowlist : string list;
       (** repo-relative files allowed to carry [@@@ocaml.warning] (R4) *)
+  domain_spawn_dirs : string list;
+      (** repo-relative directory prefixes allowed to call [Domain.spawn]
+          (R5); everything else must go through [Midrr_par.Par] *)
 }
 
 val default : t
@@ -14,3 +17,4 @@ val module_name_of_file : string -> string
 val is_hot_path : t -> string -> bool
 val is_float_sensitive : t -> string -> bool
 val warning_allowed : t -> string -> bool
+val domain_spawn_allowed : t -> string -> bool

@@ -61,6 +61,64 @@ let is_obj_magic = function
   | Longident.Ldot (Longident.Lident "Obj", "magic") -> true
   | _ -> false
 
+let is_domain_spawn = function
+  | Longident.Ldot (Longident.Lident "Domain", "spawn") -> true
+  | _ -> false
+
+(* R6 scans the task closures handed to these entry points.  Both the
+   short form used under [module Par = Midrr_par.Par] and the fully
+   qualified path are recognised. *)
+let is_par_entry = function
+  | Longident.Ldot (Longident.Lident "Par", ("run" | "map"))
+  | Longident.Ldot
+      (Longident.Ldot (Longident.Lident "Midrr_par", "Par"), ("run" | "map"))
+    ->
+      true
+  | _ -> false
+
+(* Functions whose first argument is the mutable container being written.
+   [Array.set] / [Bytes.set] also cover the [a.(i) <- v] / [b.[i] <- c]
+   sugar, which the parser expands before the AST reaches us. *)
+let mutator = function
+  | Longident.Lident ":=" -> Some "a captured ref"
+  | Longident.Ldot
+      (Longident.Lident "Array", ("set" | "unsafe_set" | "fill" | "blit")) ->
+      Some "a captured array"
+  | Longident.Ldot
+      ( Longident.Lident ("Bytes" | "String"),
+        ("set" | "unsafe_set" | "fill" | "blit") ) ->
+      Some "captured bytes"
+  | Longident.Ldot
+      ( Longident.Lident "Hashtbl",
+        ("add" | "replace" | "remove" | "reset" | "clear") ) ->
+      Some "a captured Hashtbl"
+  | Longident.Ldot
+      ( Longident.Lident "Buffer",
+        ("add_string" | "add_char" | "add_bytes" | "add_buffer" | "clear"
+        | "reset") ) ->
+      Some "a captured Buffer"
+  | Longident.Ldot
+      (Longident.Lident "Queue", ("push" | "add" | "pop" | "take" | "clear"))
+    ->
+      Some "a captured Queue"
+  | _ -> None
+
+let rec pat_names p acc =
+  match p.ppat_desc with
+  | Ppat_var v -> v.txt :: acc
+  | Ppat_alias (p, v) -> pat_names p (v.txt :: acc)
+  | Ppat_tuple ps | Ppat_array ps ->
+      List.fold_left (fun acc p -> pat_names p acc) acc ps
+  | Ppat_construct (_, Some (_, p)) | Ppat_variant (_, Some p) ->
+      pat_names p acc
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p) -> pat_names p acc) acc fields
+  | Ppat_or (a, b) -> pat_names b (pat_names a acc)
+  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_open (_, p)
+  | Ppat_exception p ->
+      pat_names p acc
+  | _ -> acc
+
 let is_warning_attr name =
   match name with
   | "warning" | "ocaml.warning" | "warnerror" | "ocaml.warnerror" -> true
@@ -166,6 +224,7 @@ type ctx = {
   hot : bool;
   floaty : bool;
   warning_ok : bool;
+  spawn_ok : bool;
   mutable allow_stack : Rule.t list list;
   mutable findings : Finding.t list;
 }
@@ -185,6 +244,86 @@ let with_allows ctx allows f =
       f ();
       ctx.allow_stack <- List.tl ctx.allow_stack
 
+(* R6: walk one argument of a [Par.run]/[Par.map] call looking for writes,
+   inside a task closure, to mutable state the closure did not bind itself.
+   The bound set tracks fun parameters, let/match/for binders along the
+   path; over-approximating it (non-recursive lets included) only risks a
+   missed warning, never a false one.  Writes outside any fun literal run
+   serially at call time and are not flagged. *)
+let r6_scan ctx arg =
+  let bound = ref [] in
+  let depth = ref 0 in
+  let is_free name = not (List.exists (String.equal name) !bound) in
+  let target_free e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident name; _ } when is_free name ->
+        Some name
+    | _ -> None
+  in
+  let scoped binders f =
+    let saved = !bound in
+    bound := binders !bound;
+    f ();
+    bound := saved
+  in
+  let default = Ast_iterator.default_iterator in
+  let expr (it : Ast_iterator.iterator) e =
+    with_allows ctx (allows_of_attrs e.pexp_attributes) (fun () ->
+        match e.pexp_desc with
+        | Pexp_fun (_, dflt, pat, body) ->
+            Option.iter (it.expr it) dflt;
+            scoped (pat_names pat) (fun () ->
+                incr depth;
+                it.expr it body;
+                decr depth)
+        | Pexp_let (_, vbs, body) ->
+            scoped
+              (fun acc ->
+                List.fold_left (fun acc vb -> pat_names vb.pvb_pat acc) acc vbs)
+              (fun () ->
+                List.iter (fun vb -> it.expr it vb.pvb_expr) vbs;
+                it.expr it body)
+        | Pexp_for (pat, lo, hi, _, body) ->
+            it.expr it lo;
+            it.expr it hi;
+            scoped (pat_names pat) (fun () -> it.expr it body)
+        | Pexp_setfield (target, _, value) ->
+            (if !depth > 0 then
+               match target_free target with
+               | Some name ->
+                   emit ctx ~loc:e.pexp_loc Rule.R6
+                     (Printf.sprintf
+                        "task closure writes a mutable field of captured \
+                         [%s]"
+                        name)
+               | None -> ());
+            it.expr it target;
+            it.expr it value
+        | Pexp_apply (({ pexp_desc = Pexp_ident { txt; _ }; _ } as fn), args)
+          ->
+            (if !depth > 0 then
+               match (mutator txt, args) with
+               | Some what, (_, first) :: _ -> (
+                   match target_free first with
+                   | Some name ->
+                       emit ctx ~loc:e.pexp_loc Rule.R6
+                         (Printf.sprintf "task closure writes %s [%s]" what
+                            name)
+                   | None -> ())
+               | _ -> ());
+            it.expr it fn;
+            List.iter (fun (_, a) -> it.expr it a) args
+        | _ -> default.expr it e)
+  in
+  let case (it : Ast_iterator.iterator) c =
+    it.pat it c.pc_lhs;
+    scoped (pat_names c.pc_lhs) (fun () ->
+        Option.iter (it.expr it) c.pc_guard;
+        it.expr it c.pc_rhs)
+  in
+  let it = { default with expr; case } in
+  it.expr it arg
+
 let check_ident ctx ~loc txt =
   if ctx.hot then begin
     if is_poly_compare txt then
@@ -197,7 +336,11 @@ let check_ident ctx ~loc txt =
         emit ctx ~loc Rule.R1 (what ^ " in a hot-path module")
     | None -> ()
   end;
-  if is_obj_magic txt then emit ctx ~loc Rule.R4 "Obj.magic"
+  if is_obj_magic txt then emit ctx ~loc Rule.R4 "Obj.magic";
+  if is_domain_spawn txt && not ctx.spawn_ok then
+    emit ctx ~loc Rule.R5
+      "Domain.spawn outside the domain-owning layer (lib/par); route \
+       parallelism through Midrr_par.Par"
 
 let check_expr ctx e =
   match e.pexp_desc with
@@ -220,6 +363,9 @@ let check_expr ctx e =
     when ctx.floaty && (floatish a || floatish b) ->
       emit ctx ~loc:e.pexp_loc Rule.R3
         (Printf.sprintf "float (%s) comparison on a computed value" op)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when is_par_entry txt ->
+      List.iter (fun (_, a) -> r6_scan ctx a) args
   | _ -> ()
 
 let make_iterator ctx =
@@ -289,6 +435,7 @@ let make_ctx config ~file =
     hot = Config.is_hot_path config file;
     floaty = Config.is_float_sensitive config file;
     warning_ok = Config.warning_allowed config file;
+    spawn_ok = Config.domain_spawn_allowed config file;
     allow_stack = [];
     findings = [];
   }

@@ -1,6 +1,6 @@
-type t = R1 | R2 | R3 | R4 | R5
+type t = R1 | R2 | R3 | R4 | R5 | R6
 
-let all = [ R1; R2; R3; R4; R5 ]
+let all = [ R1; R2; R3; R4; R5; R6 ]
 
 let id = function
   | R1 -> "R1"
@@ -8,6 +8,7 @@ let id = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
 
 let of_id = function
   | "R1" -> Some R1
@@ -15,6 +16,7 @@ let of_id = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
   | _ -> None
 
 let title = function
@@ -22,7 +24,8 @@ let title = function
   | R2 -> "catch-all exception handler"
   | R3 -> "float equality on computed values"
   | R4 -> "Obj.magic or warning suppression"
-  | R5 -> "top-level mutable state at module init"
+  | R5 -> "top-level mutable state / Domain.spawn outside lib/par"
+  | R6 -> "shared mutable capture in a Par task closure"
 
 let hint = function
   | R1 ->
@@ -40,7 +43,12 @@ let hint = function
   | R5 ->
       "allocate the state inside a constructor function, use Atomic.t, or \
        annotate the binding with [@midrr.lint.allow \"R5\"] and a \
-       domain-safety justification"
+       domain-safety justification; for Domain.spawn, route parallelism \
+       through Midrr_par.Par instead of spawning domains directly"
+  | R6 ->
+      "make each task write only through its own return value (Par merges \
+       results positionally); if the shared write is provably disjoint or \
+       synchronised, say so with [@midrr.lint.allow \"R6\"]"
 
 let equal a b = String.equal (id a) (id b)
 let compare a b = String.compare (id a) (id b)

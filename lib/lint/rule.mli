@@ -8,7 +8,13 @@ type t =
   | R2  (** no [try ... with _ ->] catch-alls *)
   | R3  (** no float [=]/[<>] on computed values in flownet/stats *)
   | R4  (** no [Obj.magic], no warning suppressions outside the allowlist *)
-  | R5  (** no top-level mutable state outside the declared allowlist *)
+  | R5
+      (** no top-level mutable state outside the declared allowlist, and no
+          [Domain.spawn] outside the directories allowed to own domains
+          (by default only [lib/par]) *)
+  | R6
+      (** no writes to mutable state captured from the enclosing scope
+          inside a task closure passed to [Par.run] / [Par.map] *)
 
 val all : t list
 val id : t -> string

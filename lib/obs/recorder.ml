@@ -1,18 +1,35 @@
+(* Flat parallel storage — unboxed times plus an [Event.t array] — so
+   [record] writes two slots and allocates nothing.  The old
+   [entry option array] boxed a [Some] and an entry record per event,
+   which showed up as per-decision garbage whenever a recorder was the
+   only sink.  [Event.t] is a variant with no universal filler, so the
+   event array is created lazily with the first recorded event. *)
+
 type entry = { time : float; event : Event.t }
 
 type t = {
   capacity : int;
-  buffer : entry option array;
+  times : float array;
+  mutable events : Event.t array; (* [||] until the first record *)
   mutable next : int; (* write position *)
   mutable total : int; (* entries ever recorded *)
 }
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Recorder.create: capacity <= 0";
-  { capacity; buffer = Array.make capacity None; next = 0; total = 0 }
+  {
+    capacity;
+    times = Array.make capacity 0.0;
+    events = [||];
+    next = 0;
+    total = 0;
+  }
 
 let record t ~time event =
-  t.buffer.(t.next) <- Some { time; event };
+  if Int.equal (Array.length t.events) 0 then
+    t.events <- Array.make t.capacity event;
+  t.times.(t.next) <- time;
+  t.events.(t.next) <- event;
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
 
@@ -23,7 +40,8 @@ let total t = t.total
 let dropped t = Stdlib.max 0 (t.total - t.capacity)
 
 let clear t =
-  Array.fill t.buffer 0 t.capacity None;
+  (* Drop event references so the GC can reclaim them. *)
+  t.events <- [||];
   t.next <- 0;
   t.total <- 0
 
@@ -32,9 +50,8 @@ let fold t ~init ~f =
   let start = if t.total <= t.capacity then 0 else t.next in
   let acc = ref init in
   for i = 0 to n - 1 do
-    match t.buffer.((start + i) mod t.capacity) with
-    | Some e -> acc := f !acc e
-    | None -> ()
+    let idx = (start + i) mod t.capacity in
+    acc := f !acc { time = t.times.(idx); event = t.events.(idx) }
   done;
   !acc
 

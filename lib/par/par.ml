@@ -1,0 +1,59 @@
+module Rng = Midrr_stats.Rng
+
+let recommended_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+(* The same worker loop runs whatever [jobs] is: domains (and with
+   [jobs = 1], just the calling one) pull the next task index from a
+   shared atomic counter, write the result into the slot of the {e task}
+   index, and record failures instead of escaping — so every task always
+   runs, results merge positionally, and the error that finally surfaces
+   is the lowest-indexed one regardless of scheduling.  Disjoint-index
+   array writes are data-race-free, and [Domain.join] orders every
+   worker's writes before the merge reads them. *)
+let run ?jobs tasks =
+  let n = Array.length tasks in
+  if Int.equal n 0 then [||]
+  else begin
+    let jobs =
+      match jobs with
+      | None -> Stdlib.min (recommended_jobs ()) n
+      | Some j -> Stdlib.max 1 (Stdlib.min j n)
+    in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match tasks.(i) () with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        worker ()
+      end
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map
+      (function Some v -> v | None -> assert false (* every index ran *))
+      results
+  end
+
+let map ?jobs f xs = run ?jobs (Array.init (Array.length xs) (fun i () -> f xs.(i)))
+
+let split_seeds ~seed n =
+  if n < 0 then invalid_arg "Par.split_seeds: negative count";
+  let master = Rng.create ~seed in
+  let seeds = Array.make n 0 in
+  (* Explicit loop: [split] advances the master stream, so derivation
+     order is part of the (seed, n) -> seeds contract. *)
+  for i = 0 to n - 1 do
+    seeds.(i) <- Int64.to_int (Rng.bits64 (Rng.split master))
+  done;
+  seeds

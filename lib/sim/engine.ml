@@ -4,7 +4,8 @@ type t = {
   mutable executed : int;
 }
 
-let create () = { queue = Event_queue.create (); clock = 0.0; executed = 0 }
+let create ?capacity () =
+  { queue = Event_queue.create ?capacity (); clock = 0.0; executed = 0 }
 
 let now t = t.clock
 

@@ -6,7 +6,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] pre-sizes the event heap (see {!Event_queue.create}) for
+    trace-driven loads of known size. *)
 
 val now : t -> float
 (** Current virtual time in seconds (0 before the first event). *)

@@ -1,28 +1,86 @@
-type 'a entry = { time : float; seq : int; item : 'a }
+(* Structure-of-arrays binary heap: the (time, seq) ordering keys live in
+   a [float array] (unboxed) and an [int array], with the payloads in a
+   parallel ['a array].  The old entry-record heap boxed a record per push
+   and forced a pointer chase per comparison; here a comparison touches
+   only flat arrays and a push allocates nothing once capacity is there.
+   The item array is grown lazily with the first pushed item as filler —
+   ['a array] has no universal filler value. *)
 
 type 'a t = {
-  mutable heap : 'a entry array; (* heap.(0) unused when size = 0 *)
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable items : 'a array; (* [||] until the first push; slots >= size stale *)
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 0 -> invalid_arg "Event_queue.create: negative capacity"
+  | _ -> ());
+  let cap = match capacity with None -> 0 | Some c -> c in
+  {
+    times = Array.make cap 0.0;
+    seqs = Array.make cap 0;
+    items = [||];
+    size = 0;
+    next_seq = 0;
+  }
 
 let is_empty t = Int.equal t.size 0
 
 let length t = t.size
 
-let earlier a b = a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
+(* Grow key/payload storage to hold at least [wanted] entries, doubling so
+   repeated pushes stay amortized O(1).  [add_batch] calls this once. *)
+let reserve t wanted =
+  let cap = Array.length t.times in
+  if wanted > cap then begin
+    let ncap = ref (Stdlib.max 16 cap) in
+    while wanted > !ncap do
+      ncap := 2 * !ncap
+    done;
+    let times = Array.make !ncap 0.0 in
+    Array.blit t.times 0 times 0 t.size;
+    t.times <- times;
+    let seqs = Array.make !ncap 0 in
+    Array.blit t.seqs 0 seqs 0 t.size;
+    t.seqs <- seqs;
+    if Array.length t.items > 0 then begin
+      let items = Array.make !ncap t.items.(0) in
+      Array.blit t.items 0 items 0 t.size;
+      t.items <- items
+    end
+  end
+
+(* Bring the lazily created item array up to the key arrays' capacity,
+   using [filler] (the item being pushed) for the fresh slots. *)
+let align_items t filler =
+  if Array.length t.items < Array.length t.times then begin
+    let items = Array.make (Array.length t.times) filler in
+    Array.blit t.items 0 items 0 t.size;
+    t.items <- items
+  end
+
+let earlier t i j =
+  t.times.(i) < t.times.(j)
+  || (Float.equal t.times.(i) t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let time = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- time;
+  let seq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- seq;
+  let item = t.items.(i) in
+  t.items.(i) <- t.items.(j);
+  t.items.(j) <- item
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if earlier t.heap.(i) t.heap.(parent) then begin
+    if earlier t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -31,41 +89,59 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && earlier t l !smallest then smallest := l;
+  if r < t.size && earlier t r !smallest then smallest := r;
   if not (Int.equal !smallest i) then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
-let push t ~time item =
-  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  let entry = { time; seq = t.next_seq; item } in
+let append t ~time item =
+  t.times.(t.size) <- time;
+  t.seqs.(t.size) <- t.next_seq;
+  t.items.(t.size) <- item;
   t.next_seq <- t.next_seq + 1;
-  if Int.equal t.size (Array.length t.heap) then begin
-    let capacity = Stdlib.max 16 (2 * Array.length t.heap) in
-    let heap = Array.make capacity entry in
-    Array.blit t.heap 0 heap 0 t.size;
-    t.heap <- heap
-  end;
-  t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek_time t = if Int.equal t.size 0 then None else Some t.heap.(0).time
+let push t ~time item =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  reserve t (t.size + 1);
+  align_items t item;
+  append t ~time item
+
+let add_batch t events =
+  let n = Array.length events in
+  if n > 0 then begin
+    (* Validate every timestamp before touching the heap so a rejected
+       batch leaves the queue unchanged. *)
+    Array.iter
+      (fun (time, _) ->
+        if Float.is_nan time then invalid_arg "Event_queue.add_batch: NaN time")
+      events;
+    reserve t (t.size + n);
+    align_items t (snd events.(0));
+    Array.iter (fun (time, item) -> append t ~time item) events
+  end
+
+let peek_time t = if Int.equal t.size 0 then None else Some t.times.(0)
 
 let pop t =
   if Int.equal t.size 0 then None
   else begin
-    let top = t.heap.(0) in
+    let time = t.times.(0) and item = t.items.(0) in
     t.size <- t.size - 1;
     if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
+      t.times.(0) <- t.times.(t.size);
+      t.seqs.(0) <- t.seqs.(t.size);
+      t.items.(0) <- t.items.(t.size);
       sift_down t 0
     end;
-    Some (top.time, top.item)
+    Some (time, item)
   end
 
 let clear t =
   t.size <- 0;
-  t.heap <- [||]
+  (* Drop item references for the GC; key capacity is kept so a pre-sized
+     queue stays pre-sized across reuse. *)
+  t.items <- [||]

@@ -1,11 +1,18 @@
 (** Priority queue of timestamped items (binary heap).
 
     Items with equal timestamps dequeue in insertion order, which keeps
-    simulations deterministic when several events coincide. *)
+    simulations deterministic when several events coincide.  Storage is
+    structure-of-arrays — unboxed [float] times and [int] tie-break
+    sequence numbers in flat arrays — so pushes allocate nothing once
+    capacity is reserved. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [create ~capacity ()] reserves room for [capacity] entries up front,
+    so trace-driven loads of known size never re-double the heap.  The
+    queue still grows past [capacity] on demand.  Raises
+    [Invalid_argument] on a negative capacity. *)
 
 val is_empty : 'a t -> bool
 
@@ -13,6 +20,13 @@ val length : 'a t -> int
 
 val push : 'a t -> time:float -> 'a -> unit
 (** Raises [Invalid_argument] on a NaN timestamp. *)
+
+val add_batch : 'a t -> (float * 'a) array -> unit
+(** Push every [(time, item)] pair, growing the heap array at most once
+    for the whole batch (versus repeated doubling under per-event [push]).
+    Pairs are inserted in array order, so ties dequeue in that order.
+    Raises [Invalid_argument] if any timestamp is NaN; a rejected batch
+    leaves the queue unchanged. *)
 
 val peek_time : 'a t -> float option
 (** Earliest timestamp without removing it. *)

@@ -283,9 +283,9 @@ let make_sched ?(engine = Engine_fast) spec =
   | Sched_wfq, _ -> Wfq.packed (Wfq.create ())
   | Sched_rr, _ -> Rrobin.packed (Rrobin.create ())
 
-let run ?sink ?engine t =
+let run ?sink ?seed ?engine t =
   let sched = make_sched ?engine t.sched in
-  let sim = Netsim.create ~bin:0.5 ?sink ~sched () in
+  let sim = Netsim.create ?seed ~bin:0.5 ?sink ~sched () in
   List.iter (fun (j, profile) -> Netsim.add_iface sim j profile) t.ifaces;
   let ids = Hashtbl.create 16 in
   List.iteri
@@ -376,7 +376,8 @@ let run ?sink ?engine t =
   in
   { windows; completions }
 
-let run_text ?sink ?engine text = Result.map (run ?sink ?engine) (parse text)
+let run_text ?sink ?seed ?engine text =
+  Result.map (run ?sink ?seed ?engine) (parse text)
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

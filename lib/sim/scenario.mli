@@ -63,16 +63,19 @@ type engine =
 val parse : string -> (t, string) result
 (** Parse scenario text; the error names the offending line. *)
 
-val run : ?sink:Midrr_obs.Sink.t -> ?engine:engine -> t -> report
+val run : ?sink:Midrr_obs.Sink.t -> ?seed:int -> ?engine:engine -> t -> report
 (** Build the simulation and execute it.  [sink] receives the run's full
     event stream (see {!Netsim.create}); `midrr run --trace` streams it
-    to a JSONL file.  [engine] (default {!Engine_fast}) picks the
-    scheduler implementation for [midrr]/[drr] scenarios; both must
-    produce identical behavior, so this only matters for cross-checking
-    and benchmarking.  [wfq]/[rr] scenarios ignore it. *)
+    to a JSONL file.  [seed] (see {!Netsim.create}) drives the stochastic
+    sources; sweeps vary it per grid point.  [engine] (default
+    {!Engine_fast}) picks the scheduler implementation for [midrr]/[drr]
+    scenarios; both must produce identical behavior, so this only matters
+    for cross-checking and benchmarking.  [wfq]/[rr] scenarios ignore
+    it. *)
 
 val run_text :
-  ?sink:Midrr_obs.Sink.t -> ?engine:engine -> string -> (report, string) result
+  ?sink:Midrr_obs.Sink.t -> ?seed:int -> ?engine:engine -> string ->
+  (report, string) result
 (** [parse] then [run]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,49 @@
+type point = {
+  label : string;
+  seed : int;
+  engine : Scenario.engine;
+  scenario : Scenario.t;
+}
+
+type outcome = { p_label : string; p_seed : int; p_engine : string; rendered : string }
+
+let engine_name = function
+  | Scenario.Engine_fast -> "fast"
+  | Scenario.Engine_ref -> "ref"
+
+(* Scenario-major, then seed, then engine: the grid order is part of the
+   output contract — [run] merges positionally, so the rendered sweep is
+   identical whatever [jobs] is. *)
+let grid ~scenarios ~seeds ~engines =
+  let points = ref [] in
+  List.iter
+    (fun (label, scenario) ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun engine -> points := { label; seed; engine; scenario } :: !points)
+            engines)
+        seeds)
+    scenarios;
+  Array.of_list (List.rev !points)
+
+let derived_seeds ?(seed = 42) n = Array.to_list (Midrr_par.Par.split_seeds ~seed n)
+
+let run_point point =
+  let report = Scenario.run ~seed:point.seed ~engine:point.engine point.scenario in
+  {
+    p_label = point.label;
+    p_seed = point.seed;
+    p_engine = engine_name point.engine;
+    rendered =
+      Format.asprintf "=== %s seed=%d engine=%s ===@.%a" point.label point.seed
+        (engine_name point.engine) Scenario.pp_report report;
+  }
+
+let run ?jobs ~scenarios ~seeds ~engines () =
+  Midrr_par.Par.map ?jobs run_point (grid ~scenarios ~seeds ~engines)
+
+let render outcomes =
+  let buf = Buffer.create 4096 in
+  Array.iter (fun o -> Buffer.add_string buf o.rendered) outcomes;
+  Buffer.contents buf

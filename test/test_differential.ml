@@ -356,8 +356,6 @@ let run_config cfg =
     !ifaces;
   check_state cfg cfg.steps ~flows:!flows ~ifaces:!ifaces p
 
-let differential_case cfg () = run_config cfg
-
 (* --- churn teardown ----------------------------------------------------- *)
 
 (* Regression for the former O(n) physical-equality link-list scans on
@@ -456,16 +454,23 @@ let teardown_case () =
   check_state cfg 5 ~flows:[ 5 ] ~ifaces:[ 2 ] p
 
 let () =
-  let churn_tests =
-    List.map
-      (fun cfg ->
-        Alcotest.test_case
-          (Printf.sprintf "%s (%d steps)" cfg.label cfg.steps)
-          `Slow (differential_case cfg))
-      configs
+  (* The churn configs are independent lockstep runs (each builds its own
+     engines and RNG), so they shard across domains via [Par.run].  On
+     failure the lowest-indexed config's Alcotest exception propagates
+     with its label and seed, which is enough to replay serially. *)
+  let churn_sharded () =
+    ignore
+      (Midrr_par.Par.run
+         (Array.of_list (List.map (fun cfg () -> run_config cfg) configs)))
   in
   Alcotest.run "differential"
     [
-      ("churn", churn_tests);
+      ( "churn",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d configs sharded across domains (%d steps each)"
+               (List.length configs) default_steps)
+            `Slow churn_sharded;
+        ] );
       ("teardown", [ Alcotest.test_case "10k-flow teardown" `Quick teardown_case ]);
     ]

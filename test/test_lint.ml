@@ -113,6 +113,55 @@ let test_r5_scope () =
   check_rules "empty array literal is immutable" []
     (lint ~file:plain_file "let xs = [||]")
 
+let test_r5_domain_spawn () =
+  check_rules "Domain.spawn outside lib/par" [ "R5" ]
+    (lint ~file:plain_file
+       "let f () = Domain.join (Domain.spawn (fun () -> 1))");
+  check_rules "the executor layer may spawn" []
+    (lint ~file:"lib/par/par.ml"
+       "let f () = Domain.join (Domain.spawn (fun () -> 1))");
+  check_rules "other Domain functions are fine" []
+    (lint ~file:plain_file "let n () = Domain.recommended_domain_count ()");
+  check_rules "allow attribute masks a justified spawn" []
+    (lint ~file:plain_file
+       "let f g = (Domain.spawn g [@midrr.lint.allow \"R5\"])")
+
+(* --- R6: shared mutable capture in Par task closures --------------------- *)
+
+let test_r6 () =
+  check_rules "ref write in a task closure" [ "R6" ]
+    (lint ~file:plain_file
+       "let f total xs = Par.map (fun x -> total := !total + x) xs");
+  check_rules "array write to a captured array" [ "R6" ]
+    (lint ~file:plain_file
+       "let f out = Par.run (Array.init 4 (fun i () -> out.(i) <- i))");
+  check_rules "mutable-field write to a captured record" [ "R6" ]
+    (lint ~file:plain_file
+       "let f acc xs = Midrr_par.Par.map (fun x -> acc.count <- acc.count + \
+        x) xs");
+  check_rules "Hashtbl write to a captured table" [ "R6" ]
+    (lint ~file:plain_file
+       "let f tbl xs = Par.map (fun x -> Hashtbl.replace tbl x x) xs")
+
+let test_r6_scope () =
+  check_rules "closure-local state is fine" []
+    (lint ~file:plain_file
+       "let f xs = Par.map (fun x -> let c = ref 0 in c := x; !c) xs");
+  check_rules "a named task function is out of syntactic reach" []
+    (lint ~file:plain_file "let f xs = Par.map task xs");
+  check_rules "reads of captured state are fine" []
+    (lint ~file:plain_file "let f base xs = Par.map (fun x -> base + x) xs");
+  check_rules "writes outside Par calls are not R6's business" []
+    (lint ~file:plain_file "let f total x = total := !total + x");
+  check_rules "match binders count as local" []
+    (lint ~file:plain_file
+       "let f xs = Par.map (fun x -> match x with Some c -> c := 1 | None -> \
+        ()) xs");
+  check_rules "allow attribute for provably disjoint writes" []
+    (lint ~file:plain_file
+       "let f out = Par.run (Array.init 4 (fun i () -> (out.(i) <- i) \
+        [@midrr.lint.allow \"R6\"]))")
+
 (* --- suppression mechanics ---------------------------------------------- *)
 
 let test_allow_attribute () =
@@ -219,6 +268,9 @@ let () =
           Alcotest.test_case "R4 triggers" `Quick test_r4;
           Alcotest.test_case "R5 triggers" `Quick test_r5;
           Alcotest.test_case "R5 scope" `Quick test_r5_scope;
+          Alcotest.test_case "R5 Domain.spawn" `Quick test_r5_domain_spawn;
+          Alcotest.test_case "R6 triggers" `Quick test_r6;
+          Alcotest.test_case "R6 scope" `Quick test_r6_scope;
         ] );
       ( "suppression",
         [
