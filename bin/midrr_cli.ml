@@ -68,7 +68,7 @@ let run_aggregation () =
   Format.fprintf ppf "%a@." Midrr_experiments.Aggregation.print
     (Midrr_experiments.Aggregation.run ())
 
-let run_scenario ?trace ~engine path =
+let run_scenario ?trace ~engine ~sched path =
   let text = In_channel.with_open_text path In_channel.input_all in
   let finish, sink =
     (* Stream events straight to the file: a full run can emit far more
@@ -83,8 +83,13 @@ let run_scenario ?trace ~engine path =
             exit 1)
   in
   let result =
+    let sched =
+      Option.map
+        (fun spec () -> Midrr_sim.Scenario.make_sched ~engine spec)
+        sched
+    in
     Fun.protect ~finally:finish (fun () ->
-        Midrr_sim.Scenario.run_text ?sink ~engine text)
+        Midrr_sim.Scenario.run_text ?sink ~engine ?sched text)
   in
   match result with
   | Ok report ->
@@ -96,7 +101,7 @@ let run_scenario ?trace ~engine path =
       Format.eprintf "scenario error: %s@." e;
       exit 1
 
-let run_sweep ~jobs ~seeds ~nseeds ~master_seed ~engines paths =
+let run_sweep ~jobs ~seeds ~nseeds ~master_seed ~engines ~sched paths =
   let scenarios =
     List.map
       (fun path ->
@@ -113,7 +118,9 @@ let run_sweep ~jobs ~seeds ~nseeds ~master_seed ~engines paths =
     | Some n -> Midrr_sim.Sweep.derived_seeds ~seed:master_seed n
     | None -> seeds
   in
-  let outcomes = Midrr_sim.Sweep.run ?jobs ~scenarios ~seeds ~engines () in
+  let outcomes =
+    Midrr_sim.Sweep.run ?jobs ?sched ~scenarios ~seeds ~engines ()
+  in
   print_string (Midrr_sim.Sweep.render outcomes)
 
 let run_all ~quick ?csv () =
@@ -257,13 +264,36 @@ let engine =
            executable-specification engine).  Both produce identical \
            schedules; $(b,ref) exists for cross-checking and benchmarking.")
 
+let sched_override =
+  let parse s =
+    match Midrr_sim.Scenario.sched_of_name s with
+    | Some spec -> Ok spec
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown discipline %S (valid: %s)" s
+                (String.concat ", " Midrr_sim.Scenario.sched_names)))
+  in
+  let print ppf spec =
+    Format.pp_print_string ppf (Midrr_sim.Scenario.sched_name spec)
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "sched" ] ~docv:"NAME"
+        ~doc:
+          "Override the scenario's $(b,scheduler) directive with discipline \
+           $(docv) (one of midrr, drr, wfq, rr, sprio, srpt, edf, lstf, \
+           pifo-wfq, pifo-rr).")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a declarative scenario file and print its measurements")
     Term.(
-      const (fun trace engine path -> run_scenario ?trace ~engine path)
-      $ trace $ engine $ scenario_file)
+      const (fun trace engine sched path ->
+          run_scenario ?trace ~engine ~sched path)
+      $ trace $ engine $ sched_override $ scenario_file)
 
 let sweep_files =
   Arg.(
@@ -325,10 +355,10 @@ let sweep_cmd =
           ($(b,--jobs)), and print each point's report in deterministic \
           grid order")
     Term.(
-      const (fun jobs seeds nseeds master_seed engines paths ->
-          run_sweep ~jobs ~seeds ~nseeds ~master_seed ~engines paths)
+      const (fun jobs seeds nseeds master_seed engines sched paths ->
+          run_sweep ~jobs ~seeds ~nseeds ~master_seed ~engines ~sched paths)
       $ jobs $ sweep_seeds $ sweep_nseeds $ sweep_master_seed $ sweep_engines
-      $ sweep_files)
+      $ sched_override $ sweep_files)
 
 let main =
   let doc = "miDRR reproduction: scheduling packets over multiple interfaces" in

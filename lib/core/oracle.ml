@@ -261,3 +261,171 @@ let packed t =
     let sink = sink
   end in
   Sched_intf.Packed ((module M), t)
+
+(* --- UPS-style replay ---------------------------------------------------- *)
+
+module Replay = struct
+  type step = {
+    r_flow : Types.flow_id;
+    r_iface : Types.iface_id;
+    r_bytes : int;
+  }
+
+  let recorder () =
+    let acc = ref [] in
+    let emit ev =
+      match ev with
+      | Midrr_obs.Event.Serve { flow; iface; bytes; _ } ->
+          acc := { r_flow = flow; r_iface = iface; r_bytes = bytes } :: !acc
+      | _ -> ()
+    in
+    (emit, fun () -> Array.of_list (List.rev !acc))
+
+  let record sched =
+    let emit, finish = recorder () in
+    Sched_intf.Packed.subscribe sched emit;
+    finish
+
+  (* Replay-as-ranks (the Universal Packet Scheduling construction): flow
+     f's rank on interface j is the index of f's next unconsumed
+     occurrence in j's recorded service order, so scripted flows serve in
+     recorded order whenever they are backlogged.  Flows the schedule
+     never routes through j rank behind every scripted occurrence and
+     are served only when no scripted candidate is eligible (the
+     substrate stays work-conserving). *)
+  let sched (schedule : step array) : Sched_intf.packed =
+    let module P = struct
+      type t = {
+        (* iface -> flow -> remaining script indices, ascending *)
+        pending :
+          (Types.iface_id, (Types.flow_id, int Queue.t) Hashtbl.t) Hashtbl.t;
+        mutable off_script : int;
+      }
+
+      let horizon = Float.of_int (Array.length schedule)
+      let name = "replay"
+
+      let create () =
+        let pending = Hashtbl.create 8 in
+        Array.iteri
+          (fun i s ->
+            let per_flow =
+              match Hashtbl.find_opt pending s.r_iface with
+              | Some h -> h
+              | None ->
+                  let h = Hashtbl.create 16 in
+                  Hashtbl.replace pending s.r_iface h;
+                  h
+            in
+            let q =
+              match Hashtbl.find_opt per_flow s.r_flow with
+              | Some q -> q
+              | None ->
+                  let q = Queue.create () in
+                  Hashtbl.replace per_flow s.r_flow q;
+                  q
+            in
+            Queue.add i q)
+          schedule;
+        { pending; off_script = 0 }
+
+      let membership = `Backlogged
+
+      let next_index t ~flow ~iface =
+        match Hashtbl.find_opt t.pending iface with
+        | None -> None
+        | Some per_flow -> (
+            match Hashtbl.find_opt per_flow flow with
+            | None -> None
+            | Some q -> Queue.peek_opt q)
+
+      let rank t ~flow ~iface ~weight:_ ~head:_ ~backlog:_ =
+        match next_index t ~flow ~iface with
+        | Some i -> Float.of_int i
+        | None -> horizon +. Float.of_int flow
+
+      let floor_rank _ ~iface:_ = neg_infinity
+      let skip_rank _ ~flow:_ ~iface:_ = 0.0
+      let admit _ _ ~backlog:_ = true
+
+      let on_service t ~flow ~iface ~weight:_ ~size:_ ~rank:_ =
+        match Hashtbl.find_opt t.pending iface with
+        | None -> t.off_script <- t.off_script + 1
+        | Some per_flow -> (
+            match Hashtbl.find_opt per_flow flow with
+            | None -> t.off_script <- t.off_script + 1
+            | Some q ->
+                if Queue.is_empty q then t.off_script <- t.off_script + 1
+                else ignore (Queue.pop q))
+
+      let rerank_on_enqueue = false
+      let rerank_after_service = `Served_iface
+      let rerank_on_weight = false
+      let on_flow_add _ ~flow:_ ~weight:_ = ()
+      let on_flow_remove _ ~flow:_ = ()
+      let on_iface_add _ ~iface:_ = ()
+      let on_iface_remove _ ~iface:_ = ()
+    end in
+    let module M = Sched_prog.Make (P) in
+    M.packed (M.create ())
+
+  type comparison = {
+    golden_total : int;
+    candidate_total : int;
+    matched : int;
+    exact : bool;
+  }
+
+  let by_iface schedule =
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun s ->
+        let q =
+          match Hashtbl.find_opt tbl s.r_iface with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace tbl s.r_iface q;
+              q
+        in
+        Queue.add s q)
+      schedule;
+    tbl
+
+  (* Per-interface longest common prefix: cross-interface interleaving is
+     a timing artifact, but each interface's service order is exactly
+     what a discipline decides, so divergence is counted from the first
+     out-of-order step onward. *)
+  let compare_schedules ~golden ~candidate =
+    let g = by_iface golden and c = by_iface candidate in
+    let matched = ref 0 in
+    Hashtbl.iter
+      (fun iface gq ->
+        match Hashtbl.find_opt c iface with
+        | None -> ()
+        | Some cq ->
+            let aligned = ref true in
+            while
+              !aligned && (not (Queue.is_empty gq)) && not (Queue.is_empty cq)
+            do
+              let gs = Queue.pop gq and cs = Queue.pop cq in
+              if Int.equal gs.r_flow cs.r_flow && Int.equal gs.r_bytes cs.r_bytes
+              then incr matched
+              else aligned := false
+            done)
+      g;
+    let golden_total = Array.length golden in
+    let candidate_total = Array.length candidate in
+    {
+      golden_total;
+      candidate_total;
+      matched = !matched;
+      exact =
+        Int.equal !matched golden_total
+        && Int.equal golden_total candidate_total;
+    }
+
+  let fraction c =
+    if Int.equal c.golden_total 0 then 1.0
+    else Float.of_int c.matched /. Float.of_int c.golden_total
+end

@@ -1,0 +1,17 @@
+(** Least slack time first expressed as a {!Sched_prog} program.
+
+    Rank = head deadline (as in {!Prog_edf}) minus the remaining service
+    time of the flow's backlog at a fixed reference drain rate — the
+    flow with the least slack is served first. *)
+
+include Sched_intf.S
+
+val create : ?queue_capacity:int -> unit -> t
+val packed : t -> Sched_intf.packed
+
+val deadline_base : float
+(** Relative deadline in seconds for a weight-1 flow (1.0). *)
+
+val drain_bytes_per_sec : float
+(** Reference drain rate used to turn backlog into remaining service
+    time (125 kB/s = 1 Mb/s). *)

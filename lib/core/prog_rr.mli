@@ -1,0 +1,12 @@
+(** Round robin expressed as a {!Sched_prog} program.
+
+    Rank = a per-interface monotone position counter ("back of the
+    rotation"); ineligible flows encountered during a lap are re-ranked
+    to the back, eligible ones are served and re-ranked to the back.
+    Behaviorally identical to the reference {!Rrobin} (verified by
+    lockstep differential test). *)
+
+include Sched_intf.S
+
+val create : ?queue_capacity:int -> unit -> t
+val packed : t -> Sched_intf.packed

@@ -1,0 +1,10 @@
+(** Strict priority expressed as a {!Sched_prog} program.
+
+    Rank = [-weight]: the heaviest backlogged flow is served ahead of
+    everything else on every interface it allows; equal weights break
+    toward the smaller flow id.  Re-ranks on [set_weight]. *)
+
+include Sched_intf.S
+
+val create : ?queue_capacity:int -> unit -> t
+val packed : t -> Sched_intf.packed

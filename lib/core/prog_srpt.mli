@@ -1,0 +1,11 @@
+(** Shortest remaining processing time expressed as a {!Sched_prog}
+    program.
+
+    Rank = remaining backlog in bytes: the flow closest to draining is
+    served first on every interface it allows.  Re-ranks whenever the
+    backlog changes (enqueue to a non-empty queue, any service). *)
+
+include Sched_intf.S
+
+val create : ?queue_capacity:int -> unit -> t
+val packed : t -> Sched_intf.packed

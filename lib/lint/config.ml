@@ -10,13 +10,16 @@ type t = {
    here undoes the O(active) work of PR 2.  [Drr_engine_ref] is included
    deliberately — it is the executable spec and keeps its polymorphic
    sorts, but only through committed baseline entries, so any *new* use
-   still fails the gate. *)
+   still fails the gate.  [Pifo] and [Sched_prog] are the programmable
+   substrate's per-decision path and join with no baseline entries. *)
 let default =
   {
     hot_path_modules =
       [
         "drr_engine";
         "drr_engine_ref";
+        "pifo";
+        "sched_prog";
         "active_ring";
         "event_queue";
         "sink";

@@ -7,7 +7,59 @@ type source_spec =
   | S_cbr of float * int
   | S_poisson of float * int
 
-type sched_spec = Sched_midrr of int option | Sched_drr | Sched_wfq | Sched_rr
+type sched_spec =
+  | Sched_midrr of int option
+  | Sched_drr
+  | Sched_wfq
+  | Sched_rr
+  | Sched_sprio
+  | Sched_srpt
+  | Sched_edf
+  | Sched_lstf
+  | Sched_pifo_wfq
+  | Sched_pifo_rr
+
+(* The discipline registry: every name accepted by `scheduler NAME` in a
+   scenario file and by `--sched NAME` on the CLI.  "midrr" carries its
+   optional counter= knob and so is special-cased where parsed. *)
+let sched_names =
+  [
+    "midrr";
+    "drr";
+    "wfq";
+    "rr";
+    "sprio";
+    "srpt";
+    "edf";
+    "lstf";
+    "pifo-wfq";
+    "pifo-rr";
+  ]
+
+let sched_of_name = function
+  | "midrr" -> Some (Sched_midrr None)
+  | "drr" -> Some Sched_drr
+  | "wfq" -> Some Sched_wfq
+  | "rr" -> Some Sched_rr
+  | "sprio" -> Some Sched_sprio
+  | "srpt" -> Some Sched_srpt
+  | "edf" -> Some Sched_edf
+  | "lstf" -> Some Sched_lstf
+  | "pifo-wfq" -> Some Sched_pifo_wfq
+  | "pifo-rr" -> Some Sched_pifo_rr
+  | _ -> None
+
+let sched_name = function
+  | Sched_midrr _ -> "midrr"
+  | Sched_drr -> "drr"
+  | Sched_wfq -> "wfq"
+  | Sched_rr -> "rr"
+  | Sched_sprio -> "sprio"
+  | Sched_srpt -> "srpt"
+  | Sched_edf -> "edf"
+  | Sched_lstf -> "lstf"
+  | Sched_pifo_wfq -> "pifo-wfq"
+  | Sched_pifo_rr -> "pifo-rr"
 
 type event =
   | E_weight of string * float
@@ -200,10 +252,15 @@ let parse_line lineno line =
                 Option.bind (field "counter" opts) int_of_string_opt
               in
               Ok (D_sched (Sched_midrr counter))
-          | [ "drr" ] -> Ok (D_sched Sched_drr)
-          | [ "wfq" ] -> Ok (D_sched Sched_wfq)
-          | [ "rr" ] -> Ok (D_sched Sched_rr)
-          | _ -> err lineno "unknown scheduler")
+          | [ name ] -> (
+              match sched_of_name name with
+              | Some s -> Ok (D_sched s)
+              | None ->
+                  err lineno "unknown scheduler %S (valid: %s)" name
+                    (String.concat ", " sched_names))
+          | _ ->
+              err lineno "unknown scheduler (valid: %s)"
+                (String.concat ", " sched_names))
       | "iface" :: rest -> parse_iface lineno rest
       | "flow" :: rest -> parse_flow lineno rest
       | "at" :: rest -> parse_at lineno rest
@@ -282,9 +339,17 @@ let make_sched ?(engine = Engine_fast) spec =
         ((module Drr_engine_ref), Drr_engine_ref.create Drr_engine_ref.Plain)
   | Sched_wfq, _ -> Wfq.packed (Wfq.create ())
   | Sched_rr, _ -> Rrobin.packed (Rrobin.create ())
+  | Sched_sprio, _ -> Prog_sprio.packed (Prog_sprio.create ())
+  | Sched_srpt, _ -> Prog_srpt.packed (Prog_srpt.create ())
+  | Sched_edf, _ -> Prog_edf.packed (Prog_edf.create ())
+  | Sched_lstf, _ -> Prog_lstf.packed (Prog_lstf.create ())
+  | Sched_pifo_wfq, _ -> Prog_wfq.packed (Prog_wfq.create ())
+  | Sched_pifo_rr, _ -> Prog_rr.packed (Prog_rr.create ())
 
-let run ?sink ?seed ?engine t =
-  let sched = make_sched ?engine t.sched in
+let run ?sink ?seed ?engine ?sched t =
+  let sched =
+    match sched with Some f -> f () | None -> make_sched ?engine t.sched
+  in
   let sim = Netsim.create ?seed ~bin:0.5 ?sink ~sched () in
   List.iter (fun (j, profile) -> Netsim.add_iface sim j profile) t.ifaces;
   let ids = Hashtbl.create 16 in
@@ -376,8 +441,8 @@ let run ?sink ?seed ?engine t =
   in
   { windows; completions }
 
-let run_text ?sink ?seed ?engine text =
-  Result.map (run ?sink ?seed ?engine) (parse text)
+let run_text ?sink ?seed ?engine ?sched text =
+  Result.map (run ?sink ?seed ?engine ?sched) (parse text)
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

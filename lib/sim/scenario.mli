@@ -38,6 +38,30 @@
 type t
 (** A parsed scenario. *)
 
+(** The scheduling discipline a scenario (or a [--sched] override)
+    selects.  [Sched_midrr] carries the optional [counter=K] knob. *)
+type sched_spec =
+  | Sched_midrr of int option
+  | Sched_drr
+  | Sched_wfq
+  | Sched_rr
+  | Sched_sprio  (** strict priority ({!Midrr_core.Prog_sprio}) *)
+  | Sched_srpt  (** shortest remaining backlog ({!Midrr_core.Prog_srpt}) *)
+  | Sched_edf  (** earliest deadline first ({!Midrr_core.Prog_edf}) *)
+  | Sched_lstf  (** least slack time first ({!Midrr_core.Prog_lstf}) *)
+  | Sched_pifo_wfq  (** WFQ over the PIFO substrate ({!Midrr_core.Prog_wfq}) *)
+  | Sched_pifo_rr
+      (** round robin over the PIFO substrate ({!Midrr_core.Prog_rr}) *)
+
+val sched_names : string list
+(** Every discipline name accepted by [scheduler NAME] and [--sched]. *)
+
+val sched_of_name : string -> sched_spec option
+(** Look a discipline up by its registry name. *)
+
+val sched_name : sched_spec -> string
+(** The registry name ([Sched_midrr _] prints as ["midrr"]). *)
+
 type window_report = {
   t0 : float;
   t1 : float;
@@ -63,7 +87,19 @@ type engine =
 val parse : string -> (t, string) result
 (** Parse scenario text; the error names the offending line. *)
 
-val run : ?sink:Midrr_obs.Sink.t -> ?seed:int -> ?engine:engine -> t -> report
+val make_sched :
+  ?engine:engine -> sched_spec -> Midrr_core.Sched_intf.packed
+(** Instantiate a discipline from its spec.  [engine] (default
+    {!Engine_fast}) selects the implementation for [midrr]/[drr]; every
+    other discipline has a single implementation and ignores it. *)
+
+val run :
+  ?sink:Midrr_obs.Sink.t ->
+  ?seed:int ->
+  ?engine:engine ->
+  ?sched:(unit -> Midrr_core.Sched_intf.packed) ->
+  t ->
+  report
 (** Build the simulation and execute it.  [sink] receives the run's full
     event stream (see {!Netsim.create}); `midrr run --trace` streams it
     to a JSONL file.  [seed] (see {!Netsim.create}) drives the stochastic
@@ -71,10 +107,17 @@ val run : ?sink:Midrr_obs.Sink.t -> ?seed:int -> ?engine:engine -> t -> report
     {!Engine_fast}) picks the scheduler implementation for [midrr]/[drr]
     scenarios; both must produce identical behavior, so this only matters
     for cross-checking and benchmarking.  [wfq]/[rr] scenarios ignore
-    it. *)
+    it.  [sched], when given, builds the scheduler instance itself —
+    overriding the scenario's [scheduler] directive and [engine] — which
+    is how [--sched] overrides work and how the replay oracle injects a
+    pre-subscribed instance. *)
 
 val run_text :
-  ?sink:Midrr_obs.Sink.t -> ?seed:int -> ?engine:engine -> string ->
+  ?sink:Midrr_obs.Sink.t ->
+  ?seed:int ->
+  ?engine:engine ->
+  ?sched:(unit -> Midrr_core.Sched_intf.packed) ->
+  string ->
   (report, string) result
 (** [parse] then [run]. *)
 

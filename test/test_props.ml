@@ -698,6 +698,179 @@ let prop_engine_fuzz_variants =
       in
       engine_fuzz_body m ops)
 
+(* --- generic discipline invariants ---------------------------------------- *)
+
+(* Every Sched_intf.packed discipline — bespoke and substrate-based alike
+   — must keep the interface-agnostic invariants under randomized churn:
+   never serve a flow on a disallowed or unknown interface, account
+   backlog as accepted-minus-served bytes, keep served_bytes equal to the
+   per-interface sum, and stay work-conserving (an interface with an
+   eligible backlogged flow never idles).  The driver speaks only the
+   packed API, so one harness covers the whole registry. *)
+
+let all_disciplines : (string * (unit -> Sched_intf.packed)) list =
+  [
+    ("midrr", fun () -> Midrr.packed (Midrr.create ()));
+    ("drr", fun () -> Drr.packed (Drr.create ()));
+    ("wfq", fun () -> Wfq.packed (Wfq.create ()));
+    ("rr", fun () -> Rrobin.packed (Rrobin.create ()));
+    ("oracle", fun () -> Oracle.packed (Oracle.create ~capacity:(fun _ -> 1e6) ()));
+    ("pifo-wfq", fun () -> Prog_wfq.packed (Prog_wfq.create ()));
+    ("pifo-rr", fun () -> Prog_rr.packed (Prog_rr.create ()));
+    ("sprio", fun () -> Prog_sprio.packed (Prog_sprio.create ()));
+    ("srpt", fun () -> Prog_srpt.packed (Prog_srpt.create ()));
+    ("edf", fun () -> Prog_edf.packed (Prog_edf.create ()));
+    ("lstf", fun () -> Prog_lstf.packed (Prog_lstf.create ()));
+  ]
+
+let discipline_invariants name make seed =
+  let module Packed = Sched_intf.Packed in
+  let st = Random.State.make [| seed |] in
+  let rand n = Random.State.int st n in
+  let pick l = List.nth l (rand (List.length l)) in
+  let s = make () in
+  let iface_pool = [ 0; 1; 2 ] in
+  let fail step fmt =
+    Printf.ksprintf
+      (fun m -> Alcotest.failf "%s (seed %d) step %d: %s" name seed step m)
+      fmt
+  in
+  (* accepted- and served-bytes ledgers per live flow.  Per-(flow,iface)
+     serve counts are only asserted for interfaces that were never taken
+     offline: engines that keep that state interface-side (the DRR
+     family) legitimately drop it with the interface, while flow-side
+     implementations persist it — both satisfy the flow totals. *)
+  let accepted = Hashtbl.create 16 in
+  let served_on = Hashtbl.create 16 in
+  let flows = ref [] and ifaces = ref [] and next_flow = ref 0 in
+  let clock = ref 0.0 in
+  let random_allowed () =
+    let all = List.filter (fun _ -> rand 3 > 0) iface_pool in
+    if all = [] then [ pick iface_pool ] else all
+  in
+  let add_flow () =
+    if List.length !flows < 12 then begin
+      let id = !next_flow in
+      incr next_flow;
+      Packed.add_flow s ~flow:id
+        ~weight:(0.5 +. (float_of_int (rand 8) /. 2.0))
+        ~allowed:(random_allowed ());
+      Hashtbl.replace accepted id 0;
+      flows := id :: !flows
+    end
+  in
+  let add_iface () =
+    match List.filter (fun j -> not (List.mem j !ifaces)) iface_pool with
+    | [] -> ()
+    | offline ->
+        let j = pick offline in
+        Packed.add_iface s j;
+        ifaces := j :: !ifaces
+  in
+  add_iface ();
+  add_flow ();
+  add_flow ();
+  for step = 0 to 1_999 do
+    clock := !clock +. 0.001;
+    (match rand 100 with
+    | n when n < 38 ->
+        if !flows <> [] then begin
+          let f = pick !flows in
+          let size = 64 + rand 1437 in
+          if Packed.enqueue s (Packet.create ~flow:f ~size ~arrival:!clock)
+          then Hashtbl.replace accepted f (Hashtbl.find accepted f + size)
+          else fail step "unbounded queue rejected an enqueue"
+        end
+    | n when n < 76 ->
+        if !ifaces <> [] then begin
+          let j = pick !ifaces in
+          let eligible =
+            List.exists
+              (fun f ->
+                Packed.is_backlogged s f
+                && List.mem j (Packed.allowed_ifaces s f))
+              !flows
+          in
+          match Packed.next_packet s j with
+          | Some pkt ->
+              if not (List.mem pkt.Packet.flow !flows) then
+                fail step "served an unknown flow";
+              if not (List.mem j (Packed.allowed_ifaces s pkt.Packet.flow))
+              then
+                fail step "served flow %d on disallowed iface %d"
+                  pkt.Packet.flow j;
+              let key = (pkt.Packet.flow, j) in
+              Hashtbl.replace served_on key
+                ((try Hashtbl.find served_on key with Not_found -> 0)
+                + pkt.Packet.size)
+          | None ->
+              if eligible then
+                fail step "iface %d idles with an eligible backlogged flow" j
+        end
+    | n when n < 84 -> add_flow ()
+    | n when n < 88 ->
+        if !flows <> [] then begin
+          let f = pick !flows in
+          Packed.remove_flow s f;
+          Hashtbl.remove accepted f;
+          List.iter (fun j -> Hashtbl.remove served_on (f, j)) iface_pool;
+          flows := List.filter (fun g -> g <> f) !flows
+        end
+    | n when n < 92 -> add_iface ()
+    | n when n < 94 ->
+        if !ifaces <> [] then begin
+          let j = pick !ifaces in
+          Packed.remove_iface s j;
+          ifaces := List.filter (fun k -> k <> j) !ifaces
+        end
+    | n when n < 97 ->
+        if !flows <> [] then
+          Packed.set_weight s (pick !flows)
+            (0.5 +. (float_of_int (rand 10) /. 2.0))
+    | _ ->
+        if !flows <> [] then
+          Packed.set_allowed s (pick !flows) (random_allowed ()));
+    (* accounting invariants after every step *)
+    List.iter
+      (fun f ->
+        let served = Packed.served_bytes s f in
+        let backlog = Packed.backlog_bytes s f in
+        let enq = Hashtbl.find accepted f in
+        let ledger =
+          List.fold_left
+            (fun acc j ->
+              acc + (try Hashtbl.find served_on (f, j) with Not_found -> 0))
+            0 iface_pool
+        in
+        if served <> ledger then
+          fail step "flow %d served %d <> serve ledger %d" f served ledger;
+        if backlog <> enq - served then
+          fail step "flow %d backlog %d <> accepted %d - served %d" f backlog
+            enq served;
+        if Packed.is_backlogged s f <> (backlog > 0) then
+          fail step "flow %d backlogged bit" f;
+        List.iter
+          (fun j ->
+            (* Engines may retire a pair counter when the link dissolves
+               (interface removal or a preference change), but a pair can
+               never claim more than was actually served on it. *)
+            let want =
+              try Hashtbl.find served_on (f, j) with Not_found -> 0
+            in
+            let got = Packed.served_bytes_on s ~flow:f ~iface:j in
+            if got > want then
+              fail step "pair (%d,%d) served %d > ledger %d" f j got want)
+          iface_pool)
+      !flows
+  done
+
+let discipline_cases =
+  List.map
+    (fun (name, make) ->
+      Alcotest.test_case name `Quick (fun () ->
+          List.iter (discipline_invariants name make) [ 7; 1009; 65537 ]))
+    all_disciplines
+
 let () =
   (* Fixed generator seed: the suite is deterministic run to run; override
      by exporting QCHECK_SEED. *)
@@ -743,4 +916,5 @@ let () =
             prop_engine_fuzz;
             prop_engine_fuzz_variants;
           ] );
+      ("disciplines", discipline_cases);
     ]
