@@ -101,6 +101,39 @@ let run_scenario ?trace ~engine ~sched path =
       Format.eprintf "scenario error: %s@." e;
       exit 1
 
+let run_bounds ~seed ~json paths =
+  let reports =
+    List.concat_map
+      (fun path ->
+        let text = In_channel.with_open_text path In_channel.input_all in
+        match Midrr_sim.Scenario.parse text with
+        | Error e ->
+            Format.eprintf "%s: scenario error: %s@." path e;
+            exit 1
+        | Ok scn ->
+            let label = Filename.basename path in
+            if Midrr_sim.Scenario.has_events scn then
+              Format.eprintf
+                "%s: note: runtime `at` events are not modeled by the static \
+                 analysis; bounds use the time-0 declarations@."
+                path;
+            List.map
+              (fun discipline ->
+                Midrr_sim.Bounds.report ~seed ~label ~discipline scn)
+              [ Midrr_sim.Bounds.Drr; Midrr_sim.Bounds.Midrr ])
+      paths
+  in
+  List.iter
+    (fun r -> Format.fprintf ppf "%a@." Midrr_sim.Bounds.pp_report r)
+    reports;
+  Option.iter
+    (fun out ->
+      Out_channel.with_open_text out (fun oc ->
+          Out_channel.output_string oc
+            (Midrr_sim.Bounds.json_of_reports reports));
+      Format.fprintf ppf "bounds report written to %s@." out)
+    json
+
 let run_sweep ~jobs ~seeds ~nseeds ~master_seed ~engines ~sched paths =
   let scenarios =
     List.map
@@ -295,6 +328,36 @@ let run_cmd =
           run_scenario ?trace ~engine ~sched path)
       $ trace $ engine $ sched_override $ scenario_file)
 
+let bounds_files =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Scenario files to analyze (e.g. scenarios/bound_twoiface.scn).")
+
+let bounds_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the full report as JSON to $(docv).")
+
+let bounds_cmd =
+  Cmd.v
+    (Cmd.info "bounds"
+       ~doc:
+         "Network-calculus delay bounds vs. simulation: for each scenario \
+          and each of drr/midrr, derive every flow's analytical worst-case \
+          delay from its arrival curve and residual service curve \
+          (DESIGN.md section 12) and print it next to the simulated \
+          max/p99/p999 enqueue-to-service delay and the tightness ratio.  \
+          Flows with unbounded sources (backlogged, finite, poisson) have \
+          no arrival curve and print as unbounded.")
+    Term.(
+      const (fun seed json paths -> run_bounds ~seed ~json paths)
+      $ seed $ bounds_json $ bounds_files)
+
 let sweep_files =
   Arg.(
     non_empty
@@ -379,6 +442,7 @@ let main =
       inbound_cmd;
       aggregation_cmd;
       run_cmd;
+      bounds_cmd;
       sweep_cmd;
       all_cmd;
     ]

@@ -24,12 +24,21 @@ let available t ~now =
   settle t ~now;
   t.tokens
 
+(* Tolerance for the [bytes = burst] boundary: a burst computed by float
+   arithmetic can land an ulp either side of the integral byte count, and
+   a strict comparison would then misclassify a satisfiable request as
+   forever-blocked (or leave [time_until]'s finite answer pointing at a
+   [try_consume] that never succeeds).  Both entry points share the same
+   scale-relative epsilon so they stay consistent: whenever [time_until]
+   returns a finite wait, [try_consume] succeeds after that wait. *)
+let eps t = Midrr_flownet.Feq.scale_eps t.bucket_size
+
 let try_consume t ~now ~bytes =
   if bytes < 0 then invalid_arg "Tokenbucket.try_consume: negative bytes";
   settle t ~now;
   let need = Float.of_int bytes in
-  if t.tokens >= need then begin
-    t.tokens <- t.tokens -. need;
+  if Midrr_flownet.Feq.geq ~eps:(eps t) t.tokens need then begin
+    t.tokens <- Float.max 0.0 (t.tokens -. need);
     true
   end
   else false
@@ -37,8 +46,9 @@ let try_consume t ~now ~bytes =
 let time_until t ~now ~bytes =
   settle t ~now;
   let need = Float.of_int bytes in
-  if need > t.bucket_size then Float.infinity
-  else if t.tokens >= need then 0.0
+  let eps = eps t in
+  if not (Midrr_flownet.Feq.leq ~eps need t.bucket_size) then Float.infinity
+  else if Midrr_flownet.Feq.geq ~eps t.tokens need then 0.0
   else (need -. t.tokens) /. t.fill_rate
 
 let set_rate t ~now new_rate =

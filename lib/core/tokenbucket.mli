@@ -24,7 +24,10 @@ val try_consume : t -> now:float -> bytes:int -> bool
 
 val time_until : t -> now:float -> bytes:int -> float
 (** Seconds from [now] until [bytes] tokens will be available (0 when
-    already available).  [infinity] if [bytes] exceeds the burst size. *)
+    already available).  [infinity] if [bytes] exceeds the burst size
+    beyond a scale-relative float tolerance ({!Midrr_flownet.Feq}); the
+    boundary case [bytes = burst] is finite.  Whenever the result is
+    finite, {!try_consume} succeeds once that much time has elapsed. *)
 
 val set_rate : t -> now:float -> float -> unit
 (** Change the fill rate, settling accumulated tokens first. *)

@@ -11,7 +11,10 @@ type t = {
    deliberately — it is the executable spec and keeps its polymorphic
    sorts, but only through committed baseline entries, so any *new* use
    still fails the gate.  [Pifo] and [Sched_prog] are the programmable
-   substrate's per-decision path and join with no baseline entries. *)
+   substrate's per-decision path and join with no baseline entries, as
+   do the netcalc curve algebra ([curve]/[arrival]/[service]/[bound],
+   evaluated per flow inside sweeps) and the [delay] sink (fed per
+   event). *)
 let default =
   {
     hot_path_modules =
@@ -27,6 +30,11 @@ let default =
         "counters";
         "jsonl";
         "event";
+        "delay";
+        "curve";
+        "arrival";
+        "service";
+        "bound";
       ];
     float_sensitive_dirs = [ "lib/flownet"; "lib/stats" ];
     warning_allowlist = [];

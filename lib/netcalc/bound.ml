@@ -1,0 +1,6 @@
+let delay ~arrival ~service = Curve.hdev ~alpha:arrival ~beta:service
+let backlog ~arrival ~service = Curve.vdev ~alpha:arrival ~beta:service
+
+let tightness ~bound ~observed =
+  if Float.is_finite bound && bound > 0.0 then Some (observed /. bound)
+  else None

@@ -1,0 +1,89 @@
+(** Piecewise-linear curves for network calculus.
+
+    A curve is a non-negative-time function [f : R+ -> R] represented as
+    an ordered array of affine segments; the last segment extends to
+    infinity.  Arrival curves are concave (token buckets: [affine]),
+    service curves are convex ([rate_latency]), and the min-plus algebra
+    on these classes stays piecewise linear, so every operation here is
+    exact — no sampling, no discretization.
+
+    Units are the repository's wire units: cumulative {e bytes} over
+    {e seconds}.  See DESIGN.md section 12 for how the bound harness uses
+    this module. *)
+
+type t
+
+val affine : burst:float -> rate:float -> t
+(** The token-bucket arrival curve [t -> burst + rate * t] (value [burst]
+    at [t = 0], i.e. the right-limit of the leaky-bucket constraint
+    [alpha(t) = sigma + rho t]).  Requires [burst >= 0] and [rate >= 0]. *)
+
+val rate_latency : rate:float -> latency:float -> t
+(** The service curve [t -> rate * max 0 (t - latency)].  Requires
+    [rate >= 0] and [latency >= 0]. *)
+
+val line : rate:float -> t
+(** [affine ~burst:0.0 ~rate]: a constant-rate server with no latency. *)
+
+val zero : t
+(** The identically-zero curve. *)
+
+val eval : t -> float -> float
+(** Value at a time ([>= 0]; negative times evaluate to 0). *)
+
+val final_slope : t -> float
+(** Slope of the infinite last segment — the curve's long-run rate. *)
+
+val breakpoints : t -> float array
+(** Segment start times, ascending, first always [0]. *)
+
+val sum : t -> t -> t
+(** Pointwise sum (aggregating arrival curves). *)
+
+val sub : t -> t -> t
+(** Pointwise difference; may go negative (clamp with {!pos}). *)
+
+val min_curve : t -> t -> t
+(** Pointwise minimum, with breakpoints inserted at crossings.  Concave
+    curves are closed under it. *)
+
+val max_curve : t -> t -> t
+(** Pointwise maximum.  Two strict service curves for the same node
+    combine into a (better) strict service curve this way. *)
+
+val pos : t -> t
+(** [max_curve c zero]: the non-negative part [c]+. *)
+
+val conv : t -> t -> t
+(** Min-plus convolution [(f ⊗ g)(t) = inf_s f(s) + g(t-s)] of two
+    {e convex} curves: start at [f 0 + g 0] and concatenate all segments
+    in nondecreasing slope order.  Rate-latency curves are closed under
+    it: [conv (R1,T1) (R2,T2) = (min R1 R2, T1+T2)].  Raises
+    [Invalid_argument] if either curve is not convex. *)
+
+val is_convex : t -> bool
+(** Continuous with nondecreasing slopes (up to a relative epsilon). *)
+
+val is_concave : t -> bool
+(** Nonincreasing slopes, continuous except for an upward jump at 0. *)
+
+val is_nondecreasing : t -> bool
+
+val inv : t -> float -> float
+(** [inv c y] is the smallest [t >= 0] with [eval c t >= y] (the
+    pseudo-inverse used by {!hdev}); [infinity] when the curve never
+    reaches [y].  Requires a nondecreasing curve. *)
+
+val hdev : alpha:t -> beta:t -> float
+(** Horizontal deviation [sup_t (inf { d | alpha t <= beta (t + d) })] —
+    the worst-case delay bound for [alpha]-constrained arrivals through a
+    server offering service curve [beta].  [infinity] when [alpha]'s
+    long-run rate exceeds [beta]'s.  Exact on piecewise-linear curves:
+    the supremum is attained at a breakpoint of [alpha] or at a preimage
+    of a breakpoint of [beta]. *)
+
+val vdev : alpha:t -> beta:t -> float
+(** Vertical deviation [sup_t (alpha t - beta t)] — the worst-case
+    backlog bound. *)
+
+val pp : Format.formatter -> t -> unit

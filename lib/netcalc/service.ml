@@ -1,0 +1,57 @@
+type competitor = {
+  quantum : float;
+  max_pkt : float;
+  arrival : Curve.t option;
+}
+
+let check_inputs name ~line_rate ~quantum ~max_pkt =
+  if not (line_rate > 0.0) then invalid_arg (name ^ ": line_rate <= 0");
+  if not (quantum > 0.0) then invalid_arg (name ^ ": quantum <= 0");
+  if not (max_pkt > 0.0) then invalid_arg (name ^ ": max_pkt <= 0")
+
+let largest_pkt ~max_pkt competitors =
+  List.fold_left (fun acc c -> Float.max acc c.max_pkt) max_pkt competitors
+
+let lap_residual ~line_rate ~quantum ~max_pkt ~deficit_cells ~competitors =
+  check_inputs "Service.lap_residual" ~line_rate ~quantum ~max_pkt;
+  if deficit_cells < 1 then
+    invalid_arg "Service.lap_residual: deficit_cells < 1";
+  let cross =
+    List.fold_left (fun acc c -> acc +. c.quantum +. c.max_pkt) 0.0 competitors
+  in
+  let total = cross +. quantum +. max_pkt in
+  let rate = line_rate *. quantum /. total in
+  let latency =
+    (cross
+    +. (Float.of_int deficit_cells *. max_pkt)
+    +. largest_pkt ~max_pkt competitors)
+    /. line_rate
+  in
+  Curve.rate_latency ~rate ~latency
+
+let blind_residual ~line_rate ~competitors =
+  if not (line_rate > 0.0) then
+    invalid_arg "Service.blind_residual: line_rate <= 0";
+  let curves = List.map (fun c -> c.arrival) competitors in
+  if List.exists Option.is_none curves then None
+  else begin
+    let cross = Arrival.aggregate (List.filter_map Fun.id curves) in
+    let l_max = largest_pkt ~max_pkt:0.0 competitors in
+    (* [C t - alpha_cross t - L]+ : the non-preemption term L covers a
+       cross packet already in transmission when the flow's backlogged
+       period starts.  With no competitors this degrades gracefully to
+       the full line. *)
+    let inner =
+      Curve.sub (Curve.line ~rate:line_rate)
+        (Curve.sum cross (Curve.affine ~burst:l_max ~rate:0.0))
+    in
+    Some (Curve.pos inner)
+  end
+
+let residual ~line_rate ~quantum ~max_pkt ~deficit_cells ~competitors =
+  let lap =
+    lap_residual ~line_rate ~quantum ~max_pkt ~deficit_cells ~competitors
+  in
+  match blind_residual ~line_rate ~competitors with
+  | None -> lap
+  | Some blind -> Curve.max_curve lap blind

@@ -1,0 +1,69 @@
+type cell = {
+  pending : float Queue.t; (* enqueue times of not-yet-served packets *)
+  mutable buf : float array; (* recorded delays, [0, n) *)
+  mutable n : int;
+}
+
+type t = { cells : (int, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 16 }
+
+let cell t flow =
+  match Hashtbl.find_opt t.cells flow with
+  | Some c -> c
+  | None ->
+      let c = { pending = Queue.create (); buf = [||]; n = 0 } in
+      Hashtbl.replace t.cells flow c;
+      c
+
+let record c d =
+  if c.n >= Array.length c.buf then begin
+    let cap = Stdlib.max 64 (2 * Array.length c.buf) in
+    let buf = Array.make cap 0.0 in
+    Array.blit c.buf 0 buf 0 c.n;
+    c.buf <- buf
+  end;
+  c.buf.(c.n) <- d;
+  c.n <- c.n + 1
+
+let on_event t ~time ev =
+  match (ev : Event.t) with
+  | Enqueue { flow; _ } -> Queue.push time (cell t flow).pending
+  | Serve { flow; _ } -> (
+      match Hashtbl.find_opt t.cells flow with
+      | None -> () (* sink attached after the enqueue: no sample *)
+      | Some c -> (
+          match Queue.take_opt c.pending with
+          | Some t0 -> record c (time -. t0)
+          | None -> ()))
+  | Flow_remove { flow } -> (
+      match Hashtbl.find_opt t.cells flow with
+      | None -> ()
+      | Some c -> Queue.clear c.pending)
+  | Drop _ | Turn _ | Flag_reset _ | Iface_up _ | Iface_down _ | Flow_add _
+  | Weight_change _ | Complete _ ->
+      ()
+
+let sink t : Sink.t = fun ~time ev -> on_event t ~time ev
+
+let flows t =
+  Hashtbl.fold (fun f c acc -> if c.n > 0 then f :: acc else acc) t.cells []
+  |> List.sort Int.compare
+
+let count t ~flow =
+  match Hashtbl.find_opt t.cells flow with Some c -> c.n | None -> 0
+
+let samples t ~flow =
+  match Hashtbl.find_opt t.cells flow with
+  | Some c -> Array.sub c.buf 0 c.n
+  | None -> [||]
+
+let worst t ~flow =
+  match Hashtbl.find_opt t.cells flow with
+  | Some c when c.n > 0 ->
+      let m = ref c.buf.(0) in
+      for i = 1 to c.n - 1 do
+        m := Float.max !m c.buf.(i)
+      done;
+      !m
+  | _ -> Float.nan

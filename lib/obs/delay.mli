@@ -1,0 +1,30 @@
+(** Per-flow enqueue-to-service latency, measured off the event bus.
+
+    Flow queues are FIFO in every scheduler here, so the [n]-th [Serve]
+    event of a flow serves the packet of its [n]-th [Enqueue]: the sink
+    keeps one pending-timestamp queue per flow, pushes on [Enqueue],
+    pops on [Serve], and records the difference.  [Drop]s never enter
+    the queue and [Flow_remove] clears it (queued packets that are never
+    served contribute no sample).  Attach with
+    {[ Netsim.create ~sink:(Delay.sink d) ]} (or tee it onto any other
+    consumer); the recorded samples feed the delay-bound harness
+    (test/test_bounds.ml) and the [midrr bounds] table. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Sink.t
+(** The timed sink to install on a platform. *)
+
+val flows : t -> int list
+(** Flows with at least one recorded sample, ascending. *)
+
+val count : t -> flow:int -> int
+
+val samples : t -> flow:int -> float array
+(** Recorded enqueue-to-service delays (seconds) in service order; a
+    fresh copy. *)
+
+val worst : t -> flow:int -> float
+(** Largest recorded delay; [nan] when the flow has no samples. *)

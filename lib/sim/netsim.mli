@@ -10,7 +10,7 @@
     packet and transmits it for [size * 8 / rate] seconds at the line rate
     in effect when transmission starts.  Sources keep flow queues stocked
     ([Backlogged], [Finite]) or inject packets on their own clock ([Cbr],
-    [Poisson], [On_off]). *)
+    [Poisson], [On_off], [Tb]). *)
 
 open Midrr_core
 
@@ -30,6 +30,12 @@ type source =
       off_mean : float;
       stop : float option;
     }
+  | Tb of { rate : float; burst : float; pkt_size : int; stop : float option }
+      (** greedy arrivals through a {!Midrr_core.Tokenbucket} of [burst]
+          bytes filling at [rate] bits/s: the source sends whenever the
+          bucket can pay for a packet, so cumulative arrivals are tightly
+          token-bucket constrained — the shape the delay-bound harness
+          ({!Midrr_netcalc}) assumes.  Requires [burst >= pkt_size]. *)
 
 type t
 

@@ -6,6 +6,7 @@ type source_spec =
   | S_finite of int * int
   | S_cbr of float * int
   | S_poisson of float * int
+  | S_tb of float * float * int
 
 type sched_spec =
   | Sched_midrr of int option
@@ -191,7 +192,19 @@ let parse_source lineno tokens =
     match Option.bind (field "rate" tokens) parse_rate with
     | Some r when r > 0.0 -> Result.map (fun p -> S_poisson (r, p)) (pkt ())
     | _ -> err lineno "missing or bad rate="
-  else err lineno "unknown source (want backlogged|finite|cbr|poisson)"
+  else if List.mem "tb" tokens then
+    match
+      ( Option.bind (field "rate" tokens) parse_rate,
+        Option.bind (field "burst" tokens) parse_bytes )
+    with
+    | Some r, Some b when r > 0.0 && b > 0 ->
+        Result.bind (pkt ()) (fun p ->
+            (* A burst smaller than one packet would make the source's
+               time_until infinite: nothing could ever be sent. *)
+            if b < p then err lineno "tb burst= must be >= pkt="
+            else Ok (S_tb (r, Float.of_int b, p)))
+    | _ -> err lineno "missing or bad rate=/burst="
+  else err lineno "unknown source (want backlogged|finite|cbr|poisson|tb)"
 
 let parse_flow lineno tokens =
   match tokens with
@@ -320,6 +333,14 @@ let parse text =
                 horizon;
               }
 
+(* --- introspection -------------------------------------------------------- *)
+
+let sched_spec t = t.sched
+let flow_specs t = t.flow_specs
+let iface_profiles t = t.ifaces
+let horizon t = t.horizon
+let has_events t = t.events <> []
+
 (* --- execution --------------------------------------------------------------- *)
 
 type engine = Engine_fast | Engine_ref
@@ -364,6 +385,8 @@ let run ?sink ?seed ?engine ?sched t =
         | S_cbr (rate, pkt) -> Netsim.Cbr { rate; pkt_size = pkt; stop = None }
         | S_poisson (rate, pkt) ->
             Netsim.Poisson { rate; pkt_size = pkt; stop = None }
+        | S_tb (rate, burst, pkt) ->
+            Netsim.Tb { rate; burst; pkt_size = pkt; stop = None }
       in
       Netsim.add_flow sim i ~weight:fs.fs_weight ~allowed:fs.fs_ifaces source)
     t.flow_specs;

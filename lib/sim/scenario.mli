@@ -25,7 +25,8 @@
     - [iface ID constant RATE] or [iface ID steps RATE T:RATE ...];
     - [flow NAME weight=W ifaces=I,J SOURCE], where SOURCE is
       [backlogged pkt=N] | [finite bytes=B pkt=N] | [cbr rate=R pkt=N] |
-      [poisson rate=R pkt=N];
+      [poisson rate=R pkt=N] | [tb rate=R burst=B pkt=N] (token-bucket
+      constrained arrivals, [burst >= pkt] — see {!Netsim.source});
     - [at T weight NAME W], [at T allow NAME IFACE],
       [at T deny NAME IFACE], [at T stop NAME];
     - [measure T0 T1] (repeatable): report rates over the window, plus the
@@ -37,6 +38,24 @@
 
 type t
 (** A parsed scenario. *)
+
+(** What a flow sends, as declared in the file.  [S_cbr (rate, pkt)] and
+    [S_poisson (rate, pkt)] carry the rate in bits/s and the packet size
+    in bytes; [S_tb (rate, burst, pkt)] adds the bucket depth in bytes.
+    Mirrors {!Netsim.source} minus the runtime-only [stop] field. *)
+type source_spec =
+  | S_backlogged of int
+  | S_finite of int * int  (** total bytes, packet size *)
+  | S_cbr of float * int
+  | S_poisson of float * int
+  | S_tb of float * float * int
+
+type flow_spec = {
+  fs_name : string;
+  fs_weight : float;
+  fs_ifaces : int list;
+  fs_source : source_spec;
+}
 
 (** The scheduling discipline a scenario (or a [--sched] override)
     selects.  [Sched_midrr] carries the optional [counter=K] knob. *)
@@ -86,6 +105,31 @@ type engine =
 
 val parse : string -> (t, string) result
 (** Parse scenario text; the error names the offending line. *)
+
+(** {1 Introspection}
+
+    Read-only views of a parsed scenario, used by the delay-bound
+    analyzer ({!Bounds}) to derive arrival and service curves without
+    re-parsing the file. *)
+
+val sched_spec : t -> sched_spec
+(** The discipline the [scheduler] directive selected (default
+    [Sched_midrr None]). *)
+
+val flow_specs : t -> flow_spec list
+(** Flows in declaration order.  {!run} assigns flow ids by this order
+    (the [n]-th spec gets id [n]). *)
+
+val iface_profiles : t -> (int * Link.t) list
+(** Declared interfaces with their capacity profiles. *)
+
+val horizon : t -> float
+(** The [run T] horizon. *)
+
+val has_events : t -> bool
+(** Whether any [at] directives are present.  Runtime events change
+    weights or preferences mid-run, which invalidates a static
+    service-curve analysis. *)
 
 val make_sched :
   ?engine:engine -> sched_spec -> Midrr_core.Sched_intf.packed

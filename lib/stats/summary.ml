@@ -77,6 +77,7 @@ type t = {
   p75 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
 
@@ -94,6 +95,7 @@ let describe xs =
     p75 = pct 75.0;
     p90 = pct 90.0;
     p99 = pct 99.0;
+    p999 = pct 99.9;
     max =
       (if Array.length sorted = 0 then Float.nan
        else sorted.(Array.length sorted - 1));
@@ -102,5 +104,6 @@ let describe xs =
 let pp ppf t =
   Format.fprintf ppf
     "n=%d mean=%.4g sd=%.4g min=%.4g p25=%.4g med=%.4g p75=%.4g p90=%.4g \
-     p99=%.4g max=%.4g"
-    t.count t.mean t.stddev t.min t.p25 t.median t.p75 t.p90 t.p99 t.max
+     p99=%.4g p999=%.4g max=%.4g"
+    t.count t.mean t.stddev t.min t.p25 t.median t.p75 t.p90 t.p99 t.p999
+    t.max

@@ -45,9 +45,12 @@ type t = {
   p75 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
-(** One-shot summary of a sample. *)
+(** One-shot summary of a sample.  [p999] is the 99.9th percentile —
+    the tail the delay-bound harness (test/test_bounds.ml) checks
+    against analytical worst cases. *)
 
 val describe : float array -> t
 (** Compute all fields of {!t} in one pass over a sorted copy. *)

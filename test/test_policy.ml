@@ -182,6 +182,23 @@ let test_bucket_time_until () =
   Alcotest.(check bool) "oversized" true
     (Tokenbucket.time_until b ~now:0.0 ~bytes:6000 = Float.infinity)
 
+let test_bucket_boundary_burst () =
+  (* Requesting exactly the burst is satisfiable, not "oversized": the
+     tolerant comparison must also absorb a burst computed by float
+     arithmetic (0.3 * 15000 is not exactly 4500). *)
+  let b = Tokenbucket.create ~rate:1000.0 ~burst:5000.0 in
+  ignore (Tokenbucket.try_consume b ~now:0.0 ~bytes:1);
+  let wait = Tokenbucket.time_until b ~now:0.0 ~bytes:5000 in
+  Alcotest.(check bool) "bytes = burst is finite" true (Float.is_finite wait);
+  Alcotest.(check bool) "consumable after the wait" true
+    (Tokenbucket.try_consume b ~now:wait ~bytes:5000);
+  let fuzzy = Tokenbucket.create ~rate:1000.0 ~burst:(0.3 *. 15000.0) in
+  ignore (Tokenbucket.try_consume fuzzy ~now:0.0 ~bytes:1);
+  let wait = Tokenbucket.time_until fuzzy ~now:0.0 ~bytes:4500 in
+  Alcotest.(check bool) "computed burst is finite" true (Float.is_finite wait);
+  Alcotest.(check bool) "consumable at the boundary" true
+    (Tokenbucket.try_consume fuzzy ~now:wait ~bytes:4500)
+
 let test_bucket_long_term_rate () =
   (* Draining as fast as allowed yields the fill rate. *)
   let b = Tokenbucket.create ~rate:1000.0 ~burst:1500.0 in
@@ -229,6 +246,8 @@ let () =
           Alcotest.test_case "starts full" `Quick test_bucket_starts_full;
           Alcotest.test_case "refills" `Quick test_bucket_refills;
           Alcotest.test_case "time until" `Quick test_bucket_time_until;
+          Alcotest.test_case "boundary bytes = burst" `Quick
+            test_bucket_boundary_burst;
           Alcotest.test_case "long-term rate" `Quick
             test_bucket_long_term_rate;
           Alcotest.test_case "set rate" `Quick test_bucket_set_rate;

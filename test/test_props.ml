@@ -535,6 +535,86 @@ let prop_tokenbucket_conservation =
         steps;
       Float.of_int !consumed <= burst +. (rate *. !now) +. 1e-6)
 
+(* Tokens only accumulate: with no consumption in between, a later
+   observation never sees fewer tokens. *)
+let prop_tokenbucket_available_monotone =
+  let gen =
+    QCheck.Gen.(
+      triple (float_range 1.0 5000.0) (float_range 100.0 10000.0)
+        (list_size (int_range 1 50) (float_range 0.0 2.0)))
+  in
+  QCheck.Test.make ~count:200 ~name:"token bucket available is monotone in now"
+    (QCheck.make gen) (fun (rate, burst, gaps) ->
+      let b = Tokenbucket.create ~rate ~burst in
+      (* Start from an arbitrary fill level. *)
+      ignore (Tokenbucket.try_consume b ~now:0.0 ~bytes:(int_of_float burst));
+      let now = ref 0.0 and prev = ref (Tokenbucket.available b ~now:0.0) in
+      List.for_all
+        (fun dt ->
+          now := !now +. dt;
+          let avail = Tokenbucket.available b ~now:!now in
+          let ok = avail >= !prev -. 1e-9 in
+          prev := avail;
+          ok)
+        gaps)
+
+(* The contract the greedy tb source leans on: whenever [time_until] is
+   finite, waiting exactly that long makes [try_consume] succeed — no
+   infinite loop of ever-smaller waits from float round-off, including at
+   the boundary [bytes = burst]. *)
+let prop_tokenbucket_time_until_consistent =
+  let gen =
+    QCheck.Gen.(
+      let* rate = float_range 1.0 5000.0 in
+      let* burst_pkts = int_range 1 8 in
+      let* pkt = int_range 1 3000 in
+      let* drains = list_size (int_range 0 30) (float_range 0.0 0.3) in
+      return (rate, float_of_int (burst_pkts * pkt), pkt, drains))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"token bucket time_until is consistent with try_consume"
+    (QCheck.make
+       ~print:(fun (rate, burst, pkt, drains) ->
+         Printf.sprintf "rate=%.17g burst=%.17g pkt=%d drains=[%s]" rate burst
+           pkt
+           (String.concat "; " (List.map (Printf.sprintf "%.17g") drains)))
+       gen)
+    (fun (rate, burst, pkt, drains) ->
+      let b = Tokenbucket.create ~rate ~burst in
+      let now = ref 0.0 in
+      (* Random partial drain to land on awkward fill levels. *)
+      List.iter
+        (fun dt ->
+          now := !now +. dt;
+          ignore (Tokenbucket.try_consume b ~now:!now ~bytes:pkt))
+        drains;
+      let check bytes =
+        let wait = Tokenbucket.time_until b ~now:!now ~bytes in
+        (not (Float.is_finite wait))
+        ||
+        (now := !now +. wait;
+         Tokenbucket.try_consume b ~now:!now ~bytes)
+      in
+      (* One packet, and the boundary case of the full burst. *)
+      check pkt && check (int_of_float burst))
+
+(* Changing the fill rate settles first and never creates or destroys
+   tokens at the instant of the change. *)
+let prop_tokenbucket_set_rate_conserves =
+  let gen =
+    QCheck.Gen.(
+      QCheck.Gen.quad (float_range 1.0 5000.0) (float_range 100.0 10000.0)
+        (float_range 0.0 5.0) (float_range 1.0 5000.0))
+  in
+  QCheck.Test.make ~count:200 ~name:"token bucket set_rate conserves tokens"
+    (QCheck.make gen) (fun (rate, burst, at, rate') ->
+      let b = Tokenbucket.create ~rate ~burst in
+      ignore (Tokenbucket.try_consume b ~now:0.0 ~bytes:(int_of_float burst));
+      let before = Tokenbucket.available b ~now:at in
+      Tokenbucket.set_rate b ~now:at rate';
+      let after = Tokenbucket.available b ~now:at in
+      Float.abs (after -. before) <= 1e-9 *. Float.max 1.0 before)
+
 (* The float solver agrees with the exact rational solver on integral
    instances — the strongest calibration of the reference ground truth. *)
 let prop_float_matches_exact =
@@ -911,6 +991,9 @@ let () =
             prop_chunk_plan;
             prop_policy_roundtrip;
             prop_tokenbucket_conservation;
+            prop_tokenbucket_available_monotone;
+            prop_tokenbucket_time_until_consistent;
+            prop_tokenbucket_set_rate_conserves;
             prop_maxflow_conservation;
             prop_cdf_monotone;
             prop_engine_fuzz;

@@ -140,7 +140,47 @@ let test_describe_consistency () =
   if not (d.min <= d.p25 && d.p25 <= d.median && d.median <= d.p75) then
     Alcotest.fail "quartiles out of order";
   if not (d.p75 <= d.p90 && d.p90 <= d.p99 && d.p99 <= d.max) then
-    Alcotest.fail "upper tail out of order"
+    Alcotest.fail "upper tail out of order";
+  if not (d.p99 <= d.p999 && d.p999 <= d.max) then
+    Alcotest.fail "p999 out of order"
+
+let test_percentile_edge_cases () =
+  (* Single sample: every percentile is that sample. *)
+  let one = [| 7.5 |] in
+  close "single p0" 7.5 (Summary.percentile one ~p:0.0);
+  close "single p50" 7.5 (Summary.percentile one ~p:50.0);
+  close "single p100" 7.5 (Summary.percentile one ~p:100.0);
+  (* p=0 and p=100 hit min and max exactly, no interpolation artifacts. *)
+  let xs = [| 9.0; 1.0; 5.0; 3.0; 7.0 |] in
+  close "p0 is min" 1.0 (Summary.percentile xs ~p:0.0);
+  close "p100 is max" 9.0 (Summary.percentile xs ~p:100.0);
+  (* Duplicate-heavy: the tail percentiles sit on the plateau until the
+     very end of the rank range. *)
+  let dup = Array.make 1000 2.0 in
+  dup.(999) <- 50.0;
+  close "duplicates p50" 2.0 (Summary.percentile dup ~p:50.0);
+  close "duplicates p99" 2.0 (Summary.percentile dup ~p:99.0);
+  let p999 = Summary.percentile dup ~p:99.9 in
+  if not (p999 >= 2.0 && p999 <= 50.0) then
+    Alcotest.failf "duplicates p999 %.3f out of range" p999;
+  close "duplicates p100" 50.0 (Summary.percentile dup ~p:100.0)
+
+let test_describe_p999 () =
+  (* 10000 zeros with ten outliers: p99.9 lands at the outlier knee. *)
+  let xs = Array.make 10000 0.0 in
+  for i = 9990 to 9999 do
+    xs.(i) <- 1.0
+  done;
+  let d = Summary.describe xs in
+  close "p99 on the floor" 0.0 d.p99;
+  if not (d.p999 > 0.0 && d.p999 <= 1.0) then
+    Alcotest.failf "p999 %.4f should sit at the outlier knee" d.p999;
+  close "max" 1.0 d.max;
+  (* The empty and singleton summaries stay well-defined. *)
+  Alcotest.(check bool)
+    "empty p999 nan" true
+    (Float.is_nan (Summary.describe [||]).p999);
+  close "singleton p999" 3.0 (Summary.describe [| 3.0 |]).p999
 
 (* --- Cdf ---------------------------------------------------------------- *)
 
@@ -158,6 +198,24 @@ let test_cdf_quantile () =
   close "q=0.25" 1.0 (Cdf.quantile c ~q:0.25);
   close "q=0.5" 2.0 (Cdf.quantile c ~q:0.5);
   close "q=1" 4.0 (Cdf.quantile c ~q:1.0)
+
+let test_cdf_quantile_edge_cases () =
+  (* Extremes of q hit the support's ends. *)
+  let c = Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  close "q=0 is min" 1.0 (Cdf.quantile c ~q:0.0);
+  close "q just under 1" 4.0 (Cdf.quantile c ~q:0.9999);
+  (* Single sample: constant quantile function. *)
+  let one = Cdf.of_samples [| 6.25 |] in
+  close "singleton q=0" 6.25 (Cdf.quantile one ~q:0.0);
+  close "singleton q=0.5" 6.25 (Cdf.quantile one ~q:0.5);
+  close "singleton q=1" 6.25 (Cdf.quantile one ~q:1.0);
+  (* Duplicate-heavy support: the plateau owns every quantile up to its
+     cumulative mass, the outlier only the very top. *)
+  let dup = Cdf.of_samples [| 2.0; 2.0; 2.0; 2.0; 2.0; 2.0; 2.0; 9.0 |] in
+  close "plateau q=0.5" 2.0 (Cdf.quantile dup ~q:0.5);
+  close "plateau q=0.875" 2.0 (Cdf.quantile dup ~q:0.875);
+  close "outlier q=0.9" 9.0 (Cdf.quantile dup ~q:0.9);
+  close "outlier q=1" 9.0 (Cdf.quantile dup ~q:1.0)
 
 let test_cdf_weighted () =
   (* 1 with weight 3, 5 with weight 1. *)
@@ -309,11 +367,16 @@ let () =
           Alcotest.test_case "jain index" `Quick test_jain_index;
           Alcotest.test_case "describe consistency" `Quick
             test_describe_consistency;
+          Alcotest.test_case "percentile edge cases" `Quick
+            test_percentile_edge_cases;
+          Alcotest.test_case "p999 tail field" `Quick test_describe_p999;
         ] );
       ( "cdf",
         [
           Alcotest.test_case "eval" `Quick test_cdf_eval;
           Alcotest.test_case "quantile" `Quick test_cdf_quantile;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_cdf_quantile_edge_cases;
           Alcotest.test_case "weighted" `Quick test_cdf_weighted;
           Alcotest.test_case "merges duplicates" `Quick
             test_cdf_merges_duplicates;
