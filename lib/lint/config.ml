@@ -3,6 +3,9 @@ type t = {
   float_sensitive_dirs : string list;
   warning_allowlist : string list;
   domain_spawn_dirs : string list;
+  typed_entry_points : string list;
+  par_task_entries : string list;
+  alloc_exempt_type_suffixes : string list;
 }
 
 (* The hot-path set is every module on the per-decision path of the fast
@@ -14,33 +17,66 @@ type t = {
    substrate's per-decision path and join with no baseline entries, as
    do the netcalc curve algebra ([curve]/[arrival]/[service]/[bound],
    evaluated per flow inside sweeps) and the [delay] sink (fed per
-   event). *)
+   event).
+
+   Entries are repo-relative module paths without extension, so a future
+   [lib/trace/event.ml] is not silently hot just because [lib/obs/event.ml]
+   is.  A bare basename still matches as a deprecated fallback (the
+   driver surfaces a warning) so older config values keep working. *)
 let default =
   {
     hot_path_modules =
       [
-        "drr_engine";
-        "drr_engine_ref";
-        "pifo";
-        "sched_prog";
-        "active_ring";
-        "event_queue";
-        "sink";
-        "recorder";
-        "counters";
-        "jsonl";
-        "event";
-        "delay";
-        "curve";
-        "arrival";
-        "service";
-        "bound";
+        "lib/core/drr_engine";
+        "lib/core/drr_engine_ref";
+        "lib/core/pifo";
+        "lib/core/sched_prog";
+        "lib/core/active_ring";
+        "lib/sim/event_queue";
+        "lib/obs/sink";
+        "lib/obs/recorder";
+        "lib/obs/counters";
+        "lib/obs/jsonl";
+        "lib/obs/event";
+        "lib/obs/delay";
+        "lib/netcalc/curve";
+        "lib/netcalc/arrival";
+        "lib/netcalc/service";
+        "lib/netcalc/bound";
       ];
     float_sensitive_dirs = [ "lib/flownet"; "lib/stats" ];
     warning_allowlist = [];
     (* The parallel executor is the single owner of raw domains; every
        other module must go through its deterministic merge. *)
     domain_spawn_dirs = [ "lib/par" ];
+    (* R7 roots: the decision path proven allocation-free by the sinkless
+       bench gate (PR 4), the PIFO substrate's per-decision ops, the
+       intrusive ring ops the engine drives per decision, and the two obs
+       sinks with a zero-allocation claim.  Specs match against display
+       names ("Unit.sub.value"); a trailing ".*" matches a whole prefix. *)
+    typed_entry_points =
+      [
+        "Drr_engine.decide";
+        "Drr_engine.next_packet_noalloc";
+        "Pifo.push";
+        "Pifo.pop";
+        "Active_ring.is_empty";
+        "Active_ring.length";
+        "Active_ring.head";
+        "Active_ring.Make.push_back";
+        "Active_ring.Make.insert_before";
+        "Active_ring.Make.remove";
+        "Active_ring.Make.next";
+        "Recorder.record";
+        "Counters.add";
+      ];
+    (* R8 roots: display-name suffixes recognized as the parallel
+       executor's task-accepting entry points. *)
+    par_task_entries = [ "Par.run"; "Par.map" ];
+    (* Allocations whose static type matches one of these suffixes are
+       the observed path (events handed to an attached sink), not the
+       sinkless decision path the R7 proof is about. *)
+    alloc_exempt_type_suffixes = [ "Event.t" ];
   }
 
 let module_name_of_file file =
@@ -49,9 +85,33 @@ let module_name_of_file file =
   | Some i -> String.sub base 0 i
   | None -> base
 
+(* Repo-relative path of [file] without its extension, '/'-separated. *)
+let module_path_of_file file =
+  match String.rindex_opt file '.' with
+  | Some i
+    when not (String.contains (String.sub file i (String.length file - i)) '/')
+    ->
+      String.sub file 0 i
+  | _ -> file
+
+type hot_match = Hot_path | Hot_basename_deprecated | Not_hot
+
+let hot_path_match t file =
+  let path = String.lowercase_ascii (module_path_of_file file) in
+  if List.exists (String.equal path) t.hot_path_modules then Hot_path
+  else
+    let base = String.lowercase_ascii (module_name_of_file file) in
+    if
+      List.exists
+        (fun entry -> String.equal base (Filename.basename entry))
+        t.hot_path_modules
+    then Hot_basename_deprecated
+    else Not_hot
+
 let is_hot_path t file =
-  let m = String.lowercase_ascii (module_name_of_file file) in
-  List.exists (String.equal m) t.hot_path_modules
+  match hot_path_match t file with
+  | Hot_path | Hot_basename_deprecated -> true
+  | Not_hot -> false
 
 let under_dir file dir =
   let prefix = dir ^ "/" in

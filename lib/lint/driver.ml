@@ -4,6 +4,7 @@ type report = {
   baselined : int;
   stale_baseline : (string * int) list;
   parse_errors : (string * string) list;
+  warnings : string list;
 }
 
 let clean r =
@@ -45,6 +46,23 @@ let rec collect root rel acc =
   else if is_ml_file rel then rel :: acc
   else acc
 
+(* Satellite of the path-scoped hot-path config: a file that is hot only
+   through the basename fallback still gets the R1 treatment, but the
+   report says so — the entry should be scoped by repo-relative path. *)
+let deprecation_warnings config files =
+  List.filter_map
+    (fun rel ->
+      match Config.hot_path_match config rel with
+      | Config.Hot_basename_deprecated ->
+          Some
+            (Printf.sprintf
+               "%s: hot-path match by basename only (deprecated): scope the \
+                hot_path_modules entry as %s"
+               rel
+               (Config.module_path_of_file rel))
+      | Config.Hot_path | Config.Not_hot -> None)
+    files
+
 let scan_files ?(config = Config.default) ~root files =
   let files = List.sort String.compare files in
   let findings = ref [] and parse_errors = ref [] in
@@ -67,7 +85,7 @@ let scan_files ?(config = Config.default) ~root files =
   in
   (List.length files, with_keys, List.rev !parse_errors)
 
-let scan ?(config = Config.default) ~root ~dirs ~baseline () =
+let collect_keys ?(config = Config.default) ~root ~dirs () =
   let files =
     List.concat_map
       (fun dir ->
@@ -75,11 +93,16 @@ let scan ?(config = Config.default) ~root ~dirs ~baseline () =
         else [])
       dirs
   in
-  let files_scanned, with_keys, parse_errors =
-    scan_files ~config ~root files
+  let files_scanned, with_keys, parse_errors = scan_files ~config ~root files in
+  (files_scanned, with_keys, parse_errors,
+   deprecation_warnings config (List.sort String.compare files))
+
+let scan ?(config = Config.default) ~root ~dirs ~baseline () =
+  let files_scanned, with_keys, parse_errors, warnings =
+    collect_keys ~config ~root ~dirs ()
   in
   let findings, baselined, stale_baseline = Baseline.apply baseline with_keys in
-  { files_scanned; findings; baselined; stale_baseline; parse_errors }
+  { files_scanned; findings; baselined; stale_baseline; parse_errors; warnings }
 
 let all_keys ?(config = Config.default) ~root ~dirs () =
   let files =
@@ -97,6 +120,7 @@ let pp_report ppf r =
   List.iter
     (fun (file, msg) -> Format.fprintf ppf "%s: unparseable: %s@." file msg)
     r.parse_errors;
+  List.iter (fun w -> Format.fprintf ppf "warning: %s@." w) r.warnings;
   List.iter
     (fun (k, n) ->
       Format.fprintf ppf
@@ -143,5 +167,12 @@ let report_to_json r =
         (Printf.sprintf "\n    {\"file\":\"%s\",\"error\":\"%s\"}"
            (Finding.json_escape file) (Finding.json_escape msg)))
     r.parse_errors;
+  Buffer.add_string buf "\n  ],\n  \"warnings\": [";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\"" (Finding.json_escape w)))
+    r.warnings;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf

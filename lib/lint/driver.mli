@@ -8,15 +8,28 @@ type report = {
   stale_baseline : (string * int) list;
       (** baseline entries (key, unmatched count) that matched nothing *)
   parse_errors : (string * string) list;
+  warnings : string list;
+      (** non-fatal diagnostics, e.g. hot-path entries matched only by
+          their deprecated basename fallback *)
 }
 
 val clean : report -> bool
-(** No fresh findings and no parse errors.  Stale baseline entries are
-    reported but do not fail the gate — they mean a site was fixed. *)
+(** No fresh findings and no parse errors.  Stale baseline entries and
+    warnings are reported but do not fail the gate. *)
 
 val lint_string : ?config:Config.t -> file:string -> string -> Finding.t list
 (** Lint in-memory source (test fixtures).  Raises [Invalid_argument] on
     parse errors. *)
+
+val collect_keys :
+  ?config:Config.t ->
+  root:string ->
+  dirs:string list ->
+  unit ->
+  int * (Finding.t * string) list * (string * string) list * string list
+(** [(files_scanned, findings_with_baseline_keys, parse_errors,
+    warnings)] before baseline application — the building block the CLI
+    uses to merge the untyped and typed tiers under one baseline. *)
 
 val scan :
   ?config:Config.t ->

@@ -6,6 +6,10 @@
 
 val allow_attr_name : string
 
+val allows_of_attrs : Parsetree.attributes -> Rule.t list
+(** Rule ids listed by [@midrr.lint.allow "..."] attributes.  Typedtree
+    attributes are Parsetree attributes, so the typed tier shares this. *)
+
 val lint_structure :
   Config.t -> file:string -> Parsetree.structure -> Finding.t list
 

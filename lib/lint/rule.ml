@@ -1,6 +1,6 @@
-type t = R1 | R2 | R3 | R4 | R5 | R6
+type t = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
-let all = [ R1; R2; R3; R4; R5; R6 ]
+let all = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
 
 let id = function
   | R1 -> "R1"
@@ -9,6 +9,8 @@ let id = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
 
 let of_id = function
   | "R1" -> Some R1
@@ -17,6 +19,8 @@ let of_id = function
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
   | _ -> None
 
 let title = function
@@ -26,6 +30,8 @@ let title = function
   | R4 -> "Obj.magic or warning suppression"
   | R5 -> "top-level mutable state / Domain.spawn outside lib/par"
   | R6 -> "shared mutable capture in a Par task closure"
+  | R7 -> "allocation reachable from a decision entry point"
+  | R8 -> "shared mutable write reachable from a Par task"
 
 let hint = function
   | R1 ->
@@ -49,6 +55,90 @@ let hint = function
       "make each task write only through its own return value (Par merges \
        results positionally); if the shared write is provably disjoint or \
        synchronised, say so with [@midrr.lint.allow \"R6\"]"
+  | R7 ->
+      "restructure the hot path so the construct disappears (sentinels \
+       instead of options, flat float cells, preallocated buffers, \
+       top-level loops instead of closures); for a deliberate amortized \
+       or cold-path allocation, annotate the site with \
+       [@midrr.lint.allow \"R7\"] or add a baseline entry with a review \
+       justification"
+  | R8 ->
+      "pass task-owned state in explicitly and return results by value \
+       (Par merges positionally), replace the shared cell with Atomic.t, \
+       or, if the write is provably disjoint, say so with \
+       [@midrr.lint.allow \"R8\"]"
+
+(* Long-form rationale behind each rule, printed by
+   `midrr-lint --explain`.  The one-line [title]/[hint] pair stays the
+   per-finding rendering; this is the self-serve CI documentation. *)
+let description = function
+  | R1 ->
+      "The polymorphic primitives (compare, =, <>, Hashtbl.hash and the \
+       List helpers built on them) walk values generically through a C \
+       loop, defeating the dense-int/flat-float layout work on the \
+       decision path.  Every module on the per-decision hot path (the \
+       fast engine, Active_ring, Pifo, the obs sinks, the netcalc curve \
+       algebra) must compare through typed primitives so each comparison \
+       compiles to one machine instruction.  Scope: the configured \
+       hot-path module list."
+  | R2 ->
+      "A `try ... with _ ->` handler silently swallows Out_of_memory, \
+       Stack_overflow and programming errors such as Invalid_argument, \
+       turning scheduler bugs into wrong schedules instead of crashes.  \
+       Handlers must name the exceptions they expect; a named catch-all \
+       that re-raises is fine.  Scope: every scanned file."
+  | R3 ->
+      "Float equality on computed values is almost always a rounding bug: \
+       max-min rate allocation and the stats summaries iterate to \
+       fixpoints whose exact bit patterns depend on summation order.  \
+       Compare through the scale-relative epsilon helper \
+       (Midrr_flownet.Feq), or annotate intentional exact-zero guards.  \
+       Scope: lib/flownet and lib/stats."
+  | R4 ->
+      "Obj.magic defeats the type system; [@warning]/[@warnerror] \
+       suppressions hide dead code and fragile matches from review.  \
+       Both need an allowlist entry or an annotation with a \
+       justification.  Scope: every scanned file."
+  | R5 ->
+      "Top-level mutable state (refs, Hashtbls, arrays created at module \
+       initialization) is shared by every domain once the scheduler is \
+       sharded, and Domain.spawn outside the executor layer creates \
+       unmanaged parallelism the deterministic merge cannot order.  \
+       State belongs inside constructor functions; cross-domain counters \
+       use Atomic.t; domains are owned by lib/par alone.  Scope: every \
+       scanned file (spawn allowlist: lib/par)."
+  | R6 ->
+      "A task closure handed to Par.run/Par.map that writes a ref, \
+       mutable field, array or Bytes cell captured from the enclosing \
+       scope races with its sibling tasks.  This untyped pass sees only \
+       writes literally inside the closure; R8 is the typed, \
+       interprocedural upgrade.  Scope: every scanned file."
+  | R7 ->
+      "The typed zero-allocation proof.  Over the .cmt Typedtree, the \
+       call graph is built from the configured decision entry points \
+       (Drr_engine.decide, next_packet_noalloc, Pifo push/pop, the \
+       Active_ring ops, the obs sink emit paths) and every reachable \
+       function is checked for allocating constructs: closure creation, \
+       tuple/record/variant/constructor blocks, array literals, partial \
+       application, boxed-float returns, and calls to allocating stdlib \
+       externals.  Event constructions handed to an attached sink are \
+       exempt (the sinkless gate is the claim being proven), as are \
+       raise-only error paths.  This turns the bench's runtime \
+       Gc.minor_words gate into a static proof with blame locations.  \
+       Scope: `midrr-lint --typed` / `dune build @lint-typed`."
+  | R8 ->
+      "The typed, interprocedural upgrade of R6: starting from every \
+       function or closure handed to Par.run/Par.map as a task, the \
+       analysis walks the call graph and flags (a) writes to mutable \
+       state captured from outside the task, including state smuggled \
+       one or more calls deep via parameters of functions whose \
+       summaries say they write them, and (b) writes to module-level \
+       mutable state anywhere in the task's reach.  State allocated \
+       inside the task's own region is exempt; Atomic.* is the \
+       sanctioned cross-domain primitive; lib/par itself (the \
+       synchronization owner) is excluded.  This is the race detector \
+       required before flows are partitioned across domains.  Scope: \
+       `midrr-lint --typed` / `dune build @lint-typed`."
 
 let equal a b = String.equal (id a) (id b)
 let compare a b = String.compare (id a) (id b)

@@ -1,0 +1,114 @@
+(* Locate and read the [.cmt] artifacts a normal [dune build] leaves
+   under [_build], map each back to its repo-relative source, and check
+   freshness by content digest (mtime-independent: dune rewrites
+   artifacts freely). *)
+
+type loaded = {
+  l_modname : string;
+  l_file : string;  (* repo-relative source path *)
+  l_structure : Typedtree.structure;
+}
+
+type result = {
+  loaded : loaded list;
+  warnings : string list;  (* unreadable or stale cmts, with detail *)
+  stale : string list;  (* sources whose cmt predates the current text *)
+  missing : string list;  (* scanned .ml files with no cmt at all *)
+}
+
+let under_dir file dir =
+  let prefix = dir ^ "/" in
+  String.length file > String.length prefix
+  && String.equal (String.sub file 0 (String.length prefix)) prefix
+
+let is_relative = Filename.is_relative
+
+(* Walk [dir] recursively collecting .cmt paths. *)
+let rec collect_cmts dir acc =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.fold_left
+      (fun acc name ->
+        let path = Filename.concat dir name in
+        if Sys.is_directory path then
+          if String.equal name ".git" then acc else collect_cmts path acc
+        else if Filename.check_suffix name ".cmt" then path :: acc
+        else acc)
+      acc (Sys.readdir dir)
+  else acc
+
+(* Walk [root]/[d] for .ml implementation files (mirrors the untyped
+   driver's walk, minus .mli: interfaces have no cmt we care about). *)
+let rec collect_ml root rel acc =
+  let abs = Filename.concat root rel in
+  if Sys.is_directory abs then
+    Array.fold_left
+      (fun acc name ->
+        if
+          (String.length name > 0 && Char.equal name.[0] '.')
+          || String.equal name "_build" || String.equal name "_opam"
+        then acc
+        else collect_ml root (Filename.concat rel name) acc)
+      acc (Sys.readdir abs)
+  else if Filename.check_suffix rel ".ml" then rel :: acc
+  else acc
+
+let load ~root ~build_dir ~dirs () =
+  let cmts = List.sort String.compare (collect_cmts build_dir []) in
+  let loaded = ref [] and warnings = ref [] and stale = ref [] in
+  let seen_sources = Hashtbl.create 64 in
+  List.iter
+    (fun path ->
+      match Cmt_format.read_cmt path with
+      | exception e ->
+          warnings :=
+            Printf.sprintf "unreadable cmt %s: %s" path (Printexc.to_string e)
+            :: !warnings
+      | infos -> (
+          match (infos.cmt_sourcefile, infos.cmt_annots) with
+          | Some sf, Cmt_format.Implementation str
+            when is_relative sf
+                 && List.exists (under_dir sf) dirs
+                 && not (Hashtbl.mem seen_sources sf) -> (
+              let src = Filename.concat root sf in
+              if not (Sys.file_exists src) then
+                (* generated source (e.g. a dune module wrapper): not a
+                   repo file, nothing to report findings against *)
+                ()
+              else
+                match infos.cmt_source_digest with
+                | Some digest when not (String.equal digest (Digest.file src))
+                  ->
+                    stale := sf :: !stale;
+                    warnings :=
+                      Printf.sprintf
+                        "stale cmt for %s: source changed since the last \
+                         build — run [dune build] and retry"
+                        sf
+                      :: !warnings
+                | _ ->
+                    Hashtbl.replace seen_sources sf ();
+                    loaded :=
+                      {
+                        l_modname = infos.cmt_modname;
+                        l_file = sf;
+                        l_structure = str;
+                      }
+                      :: !loaded)
+          | _ -> ()))
+    cmts;
+  let missing =
+    List.concat_map
+      (fun d ->
+        if Sys.file_exists (Filename.concat root d) then collect_ml root d []
+        else [])
+      dirs
+    |> List.filter (fun sf -> not (Hashtbl.mem seen_sources sf))
+    |> List.sort String.compare
+  in
+  {
+    loaded =
+      List.sort (fun a b -> String.compare a.l_file b.l_file) !loaded;
+    warnings = List.rev !warnings;
+    stale = List.sort String.compare !stale;
+    missing;
+  }

@@ -1,0 +1,26 @@
+(* In-process typechecking of fixture sources, so the typed-tier tests
+   can run without producing cmt artifacts on disk.  Uses the same
+   compiler-libs the build itself uses; the environment is the initial
+   Stdlib environment, so fixtures must be self-contained (they declare
+   their own local [Par] module, say, rather than depending on
+   [Midrr_par]). *)
+
+let init = lazy (Compmisc.init_path ())
+let ensure_init () = Lazy.force init
+
+let structure ?(filename = "fixture.ml") source =
+  ensure_init ();
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf filename;
+  match
+    let pstr = Parse.implementation lexbuf in
+    let env = Compmisc.initial_env () in
+    let tstr, _, _, _, _ = Typemod.type_structure env pstr in
+    tstr
+  with
+  | tstr -> Ok tstr
+  | exception e -> (
+      match Location.error_of_exn e with
+      | Some (`Ok report) ->
+          Error (Format.asprintf "%a" Location.print_report report)
+      | _ -> Error (Printexc.to_string e))

@@ -1,0 +1,175 @@
+open Midrr_lint
+
+(* Orchestration of the typed tier: build the call graph over all
+   loaded units, then run R7 (static zero-allocation over the entry
+   reachability set) and R8 (interprocedural domain-safety over the
+   Par-task reachability set). *)
+
+type unit_input = {
+  ui_modname : string;
+  ui_file : string;
+  ui_structure : Typedtree.structure;
+}
+
+(* Allow-attribute scope stack shared by both rules: file-wide allows at
+   the bottom, binding allows pushed per node, expression allows pushed
+   during the walk. *)
+let make_allow_stack initial =
+  let stack = ref [ initial ] in
+  let allowed rule () =
+    List.exists
+      (List.exists (fun r -> Rule.compare r rule = 0))
+      !stack
+  in
+  let with_allows allows f =
+    match allows with
+    | [] -> f ()
+    | _ ->
+        stack := allows :: !stack;
+        Fun.protect
+          ~finally:(fun () ->
+            match !stack with _ :: rest -> stack := rest | [] -> ())
+          f
+  in
+  (allowed, with_allows)
+
+let check_r7 ~cfg ~graph ~add_finding ~add_warning =
+  let roots = ref [] in
+  List.iter
+    (fun spec ->
+      let matched = ref false in
+      Callgraph.iter_nodes graph (fun n ->
+          if Callgraph.spec_matches spec n then begin
+            matched := true;
+            roots := (n.Callgraph.n_key, spec) :: !roots
+          end);
+      if not !matched then
+        add_warning
+          (Printf.sprintf
+             "typed entry point spec matched no value: %s (stale config, or \
+              the unit's .cmt was not loaded)"
+             spec))
+    cfg.Config.typed_entry_points;
+  let reach = Callgraph.reachable graph !roots in
+  Hashtbl.iter
+    (fun key entry_spec ->
+      match Callgraph.find_node graph key with
+      | None -> ()
+      | Some node ->
+          let file_allows = Callgraph.unit_allows graph node.Callgraph.n_unit in
+          let allowed, with_allows =
+            make_allow_stack (file_allows @ node.Callgraph.n_allows)
+          in
+          let allowed = allowed Rule.R7 in
+          let emit ~loc msg =
+            add_finding
+              (Finding.v ~file:node.Callgraph.n_file ~loc ~rule:Rule.R7
+                 (Printf.sprintf "%s (in [%s], reachable from entry [%s])"
+                    msg node.Callgraph.n_display entry_spec))
+          in
+          Alloc_rule.check_node ~cfg ~graph ~emit ~with_allows ~allowed node)
+    reach
+
+(* Walk a unit's structure for applications of Par entry points. *)
+let par_sites ~cfg ~graph ~unit_name (str : Typedtree.structure) =
+  let sites = ref [] in
+  let super = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+        let r = Callgraph.resolve graph ~unit_name p in
+        if
+          List.exists
+            (fun spec -> Callgraph.resolution_matches_entry graph ~spec r)
+            cfg.Config.par_task_entries
+        then
+          let entry = Callgraph.display_of_resolution graph r in
+          let task_args =
+            List.filter_map
+              (fun (label, arg) ->
+                match (label, arg) with
+                | Asttypes.Optional _, _ -> None
+                | _, Some a -> Some a
+                | _, None -> None)
+              args
+          in
+          sites := (e.exp_loc, entry, task_args) :: !sites
+    | _ -> ());
+    super.expr sub e
+  in
+  let it = { super with expr } in
+  it.structure it str;
+  List.rev !sites
+
+let check_r8 ~cfg ~graph ~inputs ~add_finding =
+  let sums = Domain_rule.summaries graph in
+  let all_roots = ref [] in
+  List.iter
+    (fun ui ->
+      (* the executor layer owns its own synchronization: its internal
+         Par.run self-calls are not user task sites *)
+      if not (Config.domain_spawn_allowed cfg ui.ui_file) then
+        let unit_name = ui.ui_modname in
+        let file_allows = Callgraph.unit_allows graph unit_name in
+        List.iter
+          (fun (_, entry, task_args) ->
+            List.iter
+              (fun arg ->
+                let allowed, with_allows = make_allow_stack file_allows in
+                let allowed = allowed Rule.R8 in
+                let emit ~loc msg =
+                  add_finding
+                    (Finding.v ~file:ui.ui_file ~loc ~rule:Rule.R8
+                       (Printf.sprintf "%s (task of [%s])" msg entry))
+                in
+                Domain_rule.scan_task_arg ~graph ~summaries:sums ~unit_name
+                  ~emit ~allowed ~with_allows arg;
+                List.iter
+                  (fun key -> all_roots := (key, entry) :: !all_roots)
+                  (Domain_rule.task_roots ~graph ~unit_name arg))
+              task_args)
+          (par_sites ~cfg ~graph ~unit_name ui.ui_structure))
+    inputs;
+  let reach = Callgraph.reachable graph !all_roots in
+  Hashtbl.iter
+    (fun key entry ->
+      match Callgraph.find_node graph key with
+      | None -> ()
+      | Some node ->
+          if not (Config.domain_spawn_allowed cfg node.Callgraph.n_file) then
+            let allows =
+              Callgraph.unit_allows graph node.Callgraph.n_unit
+              @ node.Callgraph.n_allows
+            in
+            if not (List.exists (fun r -> Rule.compare r Rule.R8 = 0) allows)
+            then
+              List.iter
+                (fun (loc, display, what) ->
+                  add_finding
+                    (Finding.v ~file:node.Callgraph.n_file ~loc ~rule:Rule.R8
+                       (Printf.sprintf
+                          "[%s] writes %s module-level state [%s] and is \
+                           reachable from a Par task (via [%s])"
+                          node.Callgraph.n_display what display entry)))
+                (Domain_rule.global_writes ~graph node))
+    reach
+
+let analyze ?(config = Config.default) (inputs : unit_input list) =
+  let graph =
+    Callgraph.build
+      (List.map
+         (fun ui ->
+           {
+             Callgraph.in_modname = ui.ui_modname;
+             in_file = ui.ui_file;
+             in_structure = ui.ui_structure;
+           })
+         inputs)
+  in
+  let findings = ref [] and warnings = ref [] in
+  let add_finding f = findings := f :: !findings in
+  let add_warning w = warnings := w :: !warnings in
+  check_r7 ~cfg:config ~graph ~add_finding ~add_warning;
+  check_r8 ~cfg:config ~graph ~inputs ~add_finding;
+  let findings = List.sort_uniq Finding.compare !findings in
+  (findings, List.rev !warnings)

@@ -217,7 +217,112 @@ let test_baseline_ratchet () =
 let test_baseline_normalization () =
   Alcotest.(check string)
     "whitespace collapses" "let a = ref 0"
-    (Baseline.normalize_line "  let   a =\tref 0  ")
+    (Baseline.normalize_line "  let   a =\tref 0  ");
+  Alcotest.(check string)
+    "CRLF line endings strip" "let a = ref 0"
+    (Baseline.normalize_line "let a = ref 0\r");
+  (* a CRLF checkout and a re-indented site still hit the same key *)
+  let f =
+    {
+      Finding.rule = Rule.R5;
+      file = plain_file;
+      line = 1;
+      col = 0;
+      message = "top-level mutable state";
+    }
+  in
+  Alcotest.(check string)
+    "key survives CRLF + reindent"
+    (Baseline.key ~source_line:"let a = ref 0" f)
+    (Baseline.key ~source_line:"\tlet  a  =  ref 0\r" f)
+
+let test_baseline_duplicates () =
+  let source = "let a = ref 0" in
+  let findings = lint ~file:plain_file source in
+  let with_keys =
+    List.map (fun (f : Finding.t) -> (f, Baseline.key ~source_line:source f))
+      findings
+  in
+  let k = snd (List.hd with_keys) in
+  (* multiset: a duplicated line only covers one site; the extra copy is
+     stale, not silently pooled *)
+  let fresh, absorbed, stale = Baseline.apply (Baseline.of_keys [ k; k ]) with_keys in
+  Alcotest.(check int) "fresh" 0 (List.length fresh);
+  Alcotest.(check int) "absorbed" 1 absorbed;
+  Alcotest.(check (list (pair string int))) "extra copy is stale" [ (k, 1) ] stale
+
+let test_baseline_deleted_file () =
+  (* an entry pointing at a file that no longer exists matches nothing
+     and must surface as stale — deleting the file does not launder the
+     debt out of the ratchet silently *)
+  let ghost = "R5\tlib/deleted/gone.ml\tlet g = ref 0" in
+  let findings = lint ~file:plain_file "let a = ref 0" in
+  let with_keys =
+    List.map
+      (fun (f : Finding.t) -> (f, Baseline.key ~source_line:"let a = ref 0" f))
+      findings
+  in
+  let fresh, _, stale = Baseline.apply (Baseline.of_keys [ ghost ]) with_keys in
+  Alcotest.(check int) "the live finding stays fresh" 1 (List.length fresh);
+  Alcotest.(check (list (pair string int))) "ghost entry is stale"
+    [ (ghost, 1) ] stale
+
+let test_baseline_filter () =
+  let keys =
+    [
+      "R5\tlib/a.ml\tlet a = ref 0";
+      "R7\tlib/b.ml\tlet b = Some 1";
+      "garbage-without-tabs";
+    ]
+  in
+  Alcotest.(check (option string))
+    "rule_of_key parses" (Some "R7")
+    (Option.map Rule.id (Baseline.rule_of_key (List.nth keys 1)));
+  Alcotest.(check (option string))
+    "rule_of_key rejects garbage" None
+    (Option.map Rule.id (Baseline.rule_of_key (List.nth keys 2)));
+  (* filtering away R7 removes that entry from stale reporting: an
+     untyped-only run cannot judge rules it did not execute *)
+  let keep_untyped k =
+    match Baseline.rule_of_key k with
+    | Some (Rule.R7 | Rule.R8) -> false
+    | Some _ | None -> true
+  in
+  let b = Baseline.filter keep_untyped (Baseline.of_keys keys) in
+  let _, _, stale = Baseline.apply b [] in
+  Alcotest.(check int) "R7 entry filtered out" 2 (List.length stale);
+  Alcotest.(check bool) "the R7 key is gone" false
+    (List.exists (fun (k, _) -> String.equal k (List.nth keys 1)) stale)
+
+(* --- hot-path config scoping (path entries with basename fallback) ------ *)
+
+let test_hot_path_scoping () =
+  let to_str = function
+    | Config.Hot_path -> "path"
+    | Config.Hot_basename_deprecated -> "basename"
+    | Config.Not_hot -> "not"
+  in
+  let check what expected file =
+    Alcotest.(check string) what expected
+      (to_str (Config.hot_path_match Config.default file))
+  in
+  check "path-scoped entry matches" "path" "lib/core/drr_engine.ml";
+  check "interfaces too" "path" "lib/core/drr_engine.mli";
+  check "other directories stay cold" "not" "lib/sim/link.ml";
+  (* a colliding basename elsewhere matches only through the deprecated
+     fallback: hot for safety, but the driver warns so the entry gets
+     path-scoped rather than silently widening *)
+  let bare = { Config.default with hot_path_modules = [ "drr_engine" ] } in
+  Alcotest.(check string)
+    "bare entry hits any directory" "basename"
+    (to_str (Config.hot_path_match bare "lib/experiments/drr_engine.ml"));
+  check "twin basename is hot only via the warned fallback" "basename"
+    "lib/experiments/drr_engine.ml";
+  check "unrelated basename stays cold under a path entry" "not"
+    "lib/experiments/sweep.ml";
+  Alcotest.(check string)
+    "module_path_of_file strips extension" "lib/core/drr_engine"
+    (Config.module_path_of_file "lib/core/drr_engine.ml")
 
 (* --- the real repo stays clean ------------------------------------------ *)
 
@@ -238,6 +343,16 @@ let test_clean_repo () =
     match Baseline.load (Filename.concat repo_root "lint.baseline") with
     | Ok b -> b
     | Error msg -> Alcotest.failf "cannot load lint.baseline: %s" msg
+  in
+  (* the committed baseline also carries typed-tier (R7/R8) entries; an
+     untyped scan cannot judge those, so drop them as the CLI does *)
+  let baseline =
+    Baseline.filter
+      (fun k ->
+        match Baseline.rule_of_key k with
+        | Some (Rule.R7 | Rule.R8) -> false
+        | Some _ | None -> true)
+      baseline
   in
   let report =
     Driver.scan ~root:repo_root ~dirs:[ "lib"; "bin"; "bench" ] ~baseline ()
@@ -277,6 +392,11 @@ let () =
           Alcotest.test_case "allow attribute" `Quick test_allow_attribute;
           Alcotest.test_case "baseline ratchet" `Quick test_baseline_ratchet;
           Alcotest.test_case "normalization" `Quick test_baseline_normalization;
+          Alcotest.test_case "duplicate entries" `Quick test_baseline_duplicates;
+          Alcotest.test_case "deleted-file entries" `Quick
+            test_baseline_deleted_file;
+          Alcotest.test_case "filter by rule" `Quick test_baseline_filter;
+          Alcotest.test_case "hot-path scoping" `Quick test_hot_path_scoping;
         ] );
       ( "repo",
         [ Alcotest.test_case "clean under baseline" `Quick test_clean_repo ] );
