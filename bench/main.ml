@@ -834,6 +834,171 @@ let bench_pifo () =
     exit 1
   end
 
+(* --- Part 2g: telemetry plane overhead ---------------------------------- *)
+
+module Metrics = Midrr_obs.Metrics
+module Busmetrics = Midrr_obs.Busmetrics
+
+(* (ns, minor words) per call of [op], amortized over [ops] iterations.
+   As in [fastpath_alloc_gate], [Gc.minor_words] boxes the float it
+   returns, so below a hundredth of a word per op is genuinely
+   allocation-free and reported as 0. *)
+let metrics_op_measure ~ops op =
+  for i = 0 to (ops / 10) - 1 do
+    op i
+  done;
+  let w0 = Gc.minor_words () in
+  let t0 = Monotonic_clock.now () in
+  for i = 0 to ops - 1 do
+    op i
+  done;
+  let t1 = Monotonic_clock.now () in
+  let w1 = Gc.minor_words () in
+  let words = (w1 -. w0) /. float_of_int ops in
+  ( Int64.to_float (Int64.sub t1 t0) /. float_of_int ops,
+    if words < 0.01 then 0.0 else words )
+
+(* The [fastpath_alloc_gate] decision loop (prefilled queues, every
+   decision a pure pop) with an event-sink variant installed: nothing,
+   a stamped null sink, or the stamped [Busmetrics] fold.  The Serve
+   event record and the stamp clock's boxed timestamp are allocated
+   identically under the last two, so the difference between them
+   isolates what the metrics fold itself allocates per decision. *)
+let metrics_decision_measure ~decisions sink =
+  let n_flows = 64 and n_ifaces = 4 in
+  let t = Drr_engine.create Drr_engine.Service_flags in
+  let tick = [| 0.0 |] in
+  let clock () =
+    (* synthetic microsecond clock so enqueue-to-serve delays are real *)
+    tick.(0) <- tick.(0) +. 1e-6;
+    tick.(0)
+  in
+  (match sink with
+  | None -> ()
+  | Some s -> Drr_engine.set_sink t (Some (Midrr_obs.Sink.stamp ~clock s)));
+  for j = 0 to n_ifaces - 1 do
+    Drr_engine.add_iface t j
+  done;
+  let all_ifaces = List.init n_ifaces Fun.id in
+  for f = 0 to n_flows - 1 do
+    Drr_engine.add_flow t ~flow:f ~weight:1.0 ~allowed:all_ifaces
+  done;
+  let warmup = decisions / 10 in
+  let per_flow = ((decisions + warmup) / n_flows) + 64 in
+  for f = 0 to n_flows - 1 do
+    for _ = 1 to per_flow do
+      ignore
+        (Drr_engine.enqueue t (Packet.create ~flow:f ~size:1000 ~arrival:0.0))
+    done
+  done;
+  for d = 0 to warmup - 1 do
+    ignore (Drr_engine.next_packet_noalloc t (d mod n_ifaces))
+  done;
+  let w0 = Gc.minor_words () in
+  let t0 = Monotonic_clock.now () in
+  for d = 0 to decisions - 1 do
+    ignore (Drr_engine.next_packet_noalloc t (d mod n_ifaces))
+  done;
+  let t1 = Monotonic_clock.now () in
+  let w1 = Gc.minor_words () in
+  ( Int64.to_float (Int64.sub t1 t0) /. float_of_int decisions,
+    (w1 -. w0) /. float_of_int decisions )
+
+(* The acceptance gate behind BENCH_metrics: every registry hot op is
+   allocation-free, and attaching the metrics fold to the decision loop
+   adds no allocation over an equally-stamped null sink.  The dynamic
+   counterpart of the R7 static proof over the same modules. *)
+let bench_metrics () =
+  section "Telemetry: registry op cost and metrics-sink decision overhead";
+  let ops = if quick then 200_000 else 2_000_000 in
+  let decisions = if quick then 20_000 else 100_000 in
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "bench_ops" in
+  let g = Metrics.gauge reg "bench_level" in
+  let h = Metrics.histogram reg "bench_lat" in
+  let micro =
+    [
+      ("counter_incr", fun _ -> Metrics.incr reg c);
+      ("counter_add", fun i -> Metrics.add reg c (i land 7));
+      ("gauge_set", fun _ -> Metrics.set_gauge reg g 1.0);
+      (* a float literal is static data: no caller-side boxing *)
+      ("hist_observe_const", fun _ -> Metrics.observe reg h 0.5);
+      (* computed values cross the boundary as int nanoseconds *)
+      ( "hist_observe_ns",
+        fun i -> Metrics.observe_ns reg h ((i land 0xfffff) + 1) );
+    ]
+  in
+  Format.printf "  %-20s %10s %16s@." "op" "ns/op" "minor words/op";
+  let micro_rows =
+    List.map
+      (fun (label, op) ->
+        let ns, words = metrics_op_measure ~ops op in
+        Format.printf "  %-20s %10.1f %16.2f@." label ns words;
+        (label, ns, words))
+      micro
+  in
+  let m = Busmetrics.create () in
+  let ns_none, w_none = metrics_decision_measure ~decisions None in
+  let w_none = if w_none < 0.01 then 0.0 else w_none in
+  let ns_null, w_null =
+    metrics_decision_measure ~decisions (Some Midrr_obs.Sink.null)
+  in
+  let ns_m, w_m =
+    metrics_decision_measure ~decisions (Some (Busmetrics.sink m))
+  in
+  Format.printf "  %-14s %14s %16s@." "decision sink" "ns/decision"
+    "words/decision";
+  Format.printf "  %-14s %14.1f %16.2f@." "none" ns_none w_none;
+  Format.printf "  %-14s %14.1f %16.2f@." "null" ns_null w_null;
+  Format.printf "  %-14s %14.1f %16.2f@." "busmetrics" ns_m w_m;
+  let extra =
+    let x = w_m -. w_null in
+    if x < 0.01 then 0.0 else x
+  in
+  let ratio = ns_m /. ns_null in
+  Format.printf
+    "  metrics fold: %.2f extra words/decision vs null sink (gate < 0.5), \
+     %.2fx ns@."
+    extra ratio;
+  (* the fold really consumed the stream: serves == warmup + decisions,
+     and the delay sketch holds one sample per serve *)
+  let mreg = Busmetrics.registry m in
+  let serves = Metrics.counter_value mreg (Metrics.counter mreg "serves") in
+  let d = Busmetrics.delay m in
+  Format.printf
+    "  fold saw %d serves; delay sketch: %d samples, p50 %.3g s, p999 %.3g s@."
+    serves
+    (Midrr_stats.Log_histogram.count d)
+    (Midrr_stats.Log_histogram.quantile d ~q:0.5)
+    (Midrr_stats.Log_histogram.quantile d ~q:0.999);
+  let oc = open_out "BENCH_metrics.json" in
+  Printf.fprintf oc "{\"ops\":%d,\"decisions\":%d,\"registry_ops\":[" ops
+    decisions;
+  List.iteri
+    (fun i (label, ns, words) ->
+      Printf.fprintf oc
+        "%s{\"op\":%S,\"ns_per_op\":%.1f,\"minor_words_per_op\":%.2f}"
+        (if i = 0 then "" else ",")
+        label ns words)
+    micro_rows;
+  Printf.fprintf oc
+    "],\"decision_loop\":[{\"sink\":\"none\",\"ns_per_decision\":%.1f,\"minor_words_per_decision\":%.2f},{\"sink\":\"null\",\"ns_per_decision\":%.1f,\"minor_words_per_decision\":%.2f},{\"sink\":\"busmetrics\",\"ns_per_decision\":%.1f,\"minor_words_per_decision\":%.2f}],\"metrics_extra_words_per_decision\":%.2f,\"metrics_ns_ratio_vs_null\":%.2f}\n"
+    ns_none w_none ns_null w_null ns_m w_m extra ratio;
+  close_out oc;
+  Format.printf "  written to BENCH_metrics.json@.";
+  let micro_bad = List.filter (fun (_, _, words) -> words > 0.0) micro_rows in
+  List.iter
+    (fun (label, _, words) ->
+      Format.printf "  FAIL: %s allocates %.2f minor words/op (gate: 0)@." label
+        words)
+    micro_bad;
+  if extra >= 0.5 then
+    Format.printf
+      "  FAIL: metrics fold allocates %.2f minor words/decision over the null \
+       sink (gate < 0.5)@."
+      extra;
+  if micro_bad <> [] || extra >= 0.5 then exit 1
+
 let extended_studies () =
   render_sections
     [|
@@ -857,11 +1022,13 @@ let fastpath_only =
 
 let par_only = Array.exists (fun a -> a = "--par-only") Sys.argv
 let pifo_only = Array.exists (fun a -> a = "--pifo-only") Sys.argv
+let metrics_only = Array.exists (fun a -> a = "--metrics-only") Sys.argv
 
 let () =
   if fastpath_only then bench_fastpath ()
   else if par_only then bench_par ()
   else if pifo_only then bench_pifo ()
+  else if metrics_only then bench_metrics ()
   else begin
     reproduce_figures ();
     ablation_flag_policy ();
@@ -871,6 +1038,7 @@ let () =
     bench_obs_overhead ();
     bench_fastpath ();
     bench_pifo ();
+    bench_metrics ();
     bench_par ()
   end;
   Format.printf "@.done.@."

@@ -68,7 +68,8 @@ let run_aggregation () =
   Format.fprintf ppf "%a@." Midrr_experiments.Aggregation.print
     (Midrr_experiments.Aggregation.run ())
 
-let run_scenario ?trace ~engine ~sched path =
+let run_scenario ?trace ?metrics_out ~metrics_interval ?chrome_trace ~top
+    ~engine ~sched path =
   let text = In_channel.with_open_text path In_channel.input_all in
   let finish, sink =
     (* Stream events straight to the file: a full run can emit far more
@@ -82,6 +83,41 @@ let run_scenario ?trace ~engine ~sched path =
             Format.eprintf "trace error: %s@." e;
             exit 1)
   in
+  if metrics_interval <= 0.0 then begin
+    Format.eprintf "metrics error: --metrics-interval must be > 0@.";
+    exit 1
+  end;
+  (* The telemetry plane: a bus-fold registry when any consumer wants
+     it, span tracing when a Chrome trace was requested. *)
+  let metrics =
+    if metrics_out <> None || top then Some (Midrr_obs.Busmetrics.create ())
+    else None
+  in
+  let spans =
+    match chrome_trace with
+    | None -> None
+    | Some _ ->
+        let clock () = Int64.to_int (Monotonic_clock.now ()) in
+        Some (Midrr_obs.Span.create ~clock ())
+  in
+  let flush_metrics ?at m =
+    Midrr_obs.Busmetrics.publish m;
+    let reg = Midrr_obs.Busmetrics.registry m in
+    Option.iter
+      (fun path -> Midrr_obs.Export.write_prometheus reg ~path)
+      metrics_out;
+    if top then begin
+      (match at with
+      | Some time -> Format.eprintf "--- t=%.3fs ---@." time
+      | None -> Format.eprintf "--- final ---@.");
+      Format.eprintf "%a@." Midrr_obs.Export.pp_top reg
+    end
+  in
+  let ticks =
+    Option.map
+      (fun m -> (metrics_interval, fun ~time -> flush_metrics ~at:time m))
+      metrics
+  in
   let result =
     let sched =
       Option.map
@@ -89,14 +125,28 @@ let run_scenario ?trace ~engine ~sched path =
         sched
     in
     Fun.protect ~finally:finish (fun () ->
-        Midrr_sim.Scenario.run_text ?sink ~engine ?sched text)
+        Midrr_sim.Scenario.run_text ?sink ?metrics ?spans ?ticks ~engine ?sched
+          text)
   in
   match result with
   | Ok report ->
       Format.fprintf ppf "%a@." Midrr_sim.Scenario.pp_report report;
       Option.iter
         (fun out -> Format.fprintf ppf "event trace written to %s@." out)
-        trace
+        trace;
+      (* Final flush so short runs and end-of-run state are captured. *)
+      Option.iter (fun m -> flush_metrics m) metrics;
+      Option.iter
+        (fun out -> Format.fprintf ppf "metrics written to %s@." out)
+        metrics_out;
+      (match (spans, chrome_trace) with
+      | Some sp, Some out ->
+          let oc = open_out out in
+          Midrr_obs.Span.write_chrome sp oc;
+          close_out oc;
+          Format.fprintf ppf "chrome trace written to %s (%d spans, %d dropped)@."
+            out (Midrr_obs.Span.count sp) (Midrr_obs.Span.dropped sp)
+      | _ -> ())
   | Error e ->
       Format.eprintf "scenario error: %s@." e;
       exit 1
@@ -279,6 +329,47 @@ let trace =
           "Stream the run's scheduler-event trace (enqueues, serves, turns, \
            flag resets, completions...) to $(docv) as JSON lines.")
 
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Attach the always-on telemetry fold and write its registry \
+           (counters, queue-occupancy gauges, delay quantile sketches) to \
+           $(docv) in Prometheus text exposition format, rewritten every \
+           $(b,--metrics-interval) seconds of simulation time and once at \
+           the end.")
+
+let metrics_interval =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Simulation-time period between metrics exports and $(b,--top) \
+           snapshots (default 1.0).")
+
+let chrome_trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Record begin/end spans around the scheduler-facing phases \
+           (decide, enqueue, complete) with wall-clock timestamps and write \
+           them to $(docv) as Chrome trace_event JSON (load in \
+           chrome://tracing or Perfetto).")
+
+let top =
+  Arg.(
+    value & flag
+    & info [ "top" ]
+        ~doc:
+          "Print a periodic one-screen telemetry snapshot (counters, \
+           gauges, delay quantiles) to stderr every \
+           $(b,--metrics-interval) seconds of simulation time.")
+
 let engine =
   let engine_conv =
     Arg.enum
@@ -324,9 +415,12 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run a declarative scenario file and print its measurements")
     Term.(
-      const (fun trace engine sched path ->
-          run_scenario ?trace ~engine ~sched path)
-      $ trace $ engine $ sched_override $ scenario_file)
+      const (fun trace metrics_out metrics_interval chrome_trace top engine
+                 sched path ->
+          run_scenario ?trace ?metrics_out ~metrics_interval ?chrome_trace
+            ~top ~engine ~sched path)
+      $ trace $ metrics_out $ metrics_interval $ chrome_trace $ top $ engine
+      $ sched_override $ scenario_file)
 
 let bounds_files =
   Arg.(

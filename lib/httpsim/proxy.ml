@@ -4,6 +4,8 @@ module Link = Midrr_sim.Link
 module Timeseries = Midrr_stats.Timeseries
 module Rng = Midrr_stats.Rng
 module Counters = Midrr_obs.Counters
+module Metrics = Midrr_obs.Metrics
+module Busmetrics = Midrr_obs.Busmetrics
 
 type transfer = {
   x_flow : Types.flow_id;
@@ -27,6 +29,7 @@ type iface = {
   mutable outstanding : int; (* issued, response not fully received *)
   mutable receiving : bool;
   mutable wake_pending : bool;
+  i_outstanding_gauge : Metrics.gauge; (* -1 when no metrics attached *)
 }
 
 type t = {
@@ -41,15 +44,24 @@ type t = {
   transfers : (Types.flow_id, transfer) Hashtbl.t;
   ifaces : (Types.iface_id, iface) Hashtbl.t;
   cells : Counters.t;
-  sink : Midrr_obs.Sink.t option;
+  sink : Midrr_obs.Sink.t option; (* effective: user sink + metrics fold *)
+  metrics : Busmetrics.t option;
 }
 
 let create ?(seed = 1) ?(bin = 1.0) ?(chunk_size = 262144)
-    ?(pipeline_depth = 4) ?(rtt = 0.05) ?(rtt_jitter = 0.0) ?sink ~sched () =
+    ?(pipeline_depth = 4) ?(rtt = 0.05) ?(rtt_jitter = 0.0) ?sink ?metrics
+    ~sched () =
   if chunk_size <= 0 then invalid_arg "Proxy.create: chunk_size <= 0";
   if pipeline_depth <= 0 then invalid_arg "Proxy.create: pipeline_depth <= 0";
   if rtt < 0.0 then invalid_arg "Proxy.create: negative rtt";
   if rtt_jitter < 0.0 then invalid_arg "Proxy.create: negative rtt_jitter";
+  let effective_sink =
+    match (sink, metrics) with
+    | None, None -> None
+    | Some s, None -> Some s
+    | None, Some m -> Some (Busmetrics.sink m)
+    | Some s, Some m -> Some (Midrr_obs.Sink.tee s (Busmetrics.sink m))
+  in
   let t =
     {
       engine = Engine.create ();
@@ -63,10 +75,11 @@ let create ?(seed = 1) ?(bin = 1.0) ?(chunk_size = 262144)
       transfers = Hashtbl.create 16;
       ifaces = Hashtbl.create 8;
       cells = Counters.create ~kind:Completes ();
-      sink;
+      sink = effective_sink;
+      metrics;
     }
   in
-  (match sink with
+  (match t.sink with
   | None -> ()
   | Some s ->
       Sched_intf.Packed.subscribe sched
@@ -80,6 +93,16 @@ let transfer t f =
   match Hashtbl.find_opt t.transfers f with
   | Some x -> x
   | None -> invalid_arg "Proxy: unknown transfer"
+
+(* Platform-truth gauge: byte-range requests issued on the interface
+   whose response has not fully arrived (the proxy's pipeline fill). *)
+let set_outstanding t ifc =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      if ifc.i_outstanding_gauge >= 0 then
+        Metrics.set_gauge (Busmetrics.registry m) ifc.i_outstanding_gauge
+          (Float.of_int ifc.outstanding)
 
 (* Keep a small window of chunk tokens queued in the scheduler so the flow
    looks continuously backlogged while bytes remain. *)
@@ -113,6 +136,7 @@ and issue_requests t ifc =
     | None -> ()
     | Some pkt ->
         ifc.outstanding <- ifc.outstanding + 1;
+        set_outstanding t ifc;
         Queue.push
           { r_flow = pkt.flow; r_bytes = pkt.size; r_issued = now t }
           ifc.pending;
@@ -160,6 +184,7 @@ and complete t ifc req =
   let time = now t in
   ifc.receiving <- false;
   ifc.outstanding <- ifc.outstanding - 1;
+  set_outstanding t ifc;
   Counters.add t.cells ~flow:req.r_flow ~iface:ifc.i_id ~bytes:req.r_bytes;
   (match t.sink with
   | None -> ()
@@ -189,6 +214,13 @@ and kick t x =
 
 let add_iface t j profile =
   if Hashtbl.mem t.ifaces j then invalid_arg "Proxy.add_iface: duplicate";
+  let i_outstanding_gauge =
+    match t.metrics with
+    | None -> -1
+    | Some m ->
+        Metrics.gauge (Busmetrics.registry m)
+          (Printf.sprintf "iface%d_outstanding" j)
+  in
   let ifc =
     {
       i_id = j;
@@ -197,6 +229,7 @@ let add_iface t j profile =
       outstanding = 0;
       receiving = false;
       wake_pending = false;
+      i_outstanding_gauge;
     }
   in
   ignore ifc.wake_pending;

@@ -26,6 +26,7 @@ val create :
   ?rtt:float ->
   ?rtt_jitter:float ->
   ?sink:Midrr_obs.Sink.t ->
+  ?metrics:Midrr_obs.Busmetrics.t ->
   sched:Sched_intf.packed ->
   unit ->
   t
@@ -34,7 +35,13 @@ val create :
     [rtt] request round-trip before response data flows (default 0.05 s);
     [rtt_jitter] sigma of a lognormal multiplier on each request's RTT
     (default 0 = deterministic); [bin] goodput measurement bin in seconds
-    (default 1.0).  [seed] drives the jitter. *)
+    (default 1.0).  [seed] drives the jitter.
+
+    [metrics] attaches a {!Midrr_obs.Busmetrics} fold to the event
+    stream (teed after [sink]) and additionally maintains a
+    platform-truth [iface<j>_outstanding] gauge per interface — the
+    proxy's live pipeline fill, the "pending requests on each
+    interface" signal of paper §5. *)
 
 val engine : t -> Midrr_sim.Engine.t
 

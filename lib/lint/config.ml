@@ -39,6 +39,10 @@ let default =
         "lib/obs/jsonl";
         "lib/obs/event";
         "lib/obs/delay";
+        "lib/obs/metrics";
+        "lib/obs/busmetrics";
+        "lib/obs/span";
+        "lib/stats/log_histogram";
         "lib/netcalc/curve";
         "lib/netcalc/arrival";
         "lib/netcalc/service";
@@ -69,6 +73,20 @@ let default =
         "Active_ring.Make.next";
         "Recorder.record";
         "Counters.add";
+        (* telemetry plane: every hot registry op, the bus fold and the
+           span probes carry the same zero-allocation claim, crosschecked
+           by the --metrics-only bench gate *)
+        "Metrics.incr";
+        "Metrics.add";
+        "Metrics.set_gauge";
+        "Metrics.incr_gauge";
+        "Metrics.observe";
+        "Metrics.observe_ns";
+        "Log_histogram.observe";
+        "Log_histogram.observe_ns";
+        "Busmetrics.on_event";
+        "Span.enter";
+        "Span.exit";
       ];
     (* R8 roots: display-name suffixes recognized as the parallel
        executor's task-accepting entry points. *)
@@ -103,7 +121,11 @@ let hot_path_match t file =
     let base = String.lowercase_ascii (module_name_of_file file) in
     if
       List.exists
-        (fun entry -> String.equal base (Filename.basename entry))
+        (fun entry ->
+          (* Only bare (slash-free) entries participate in the deprecated
+             basename fallback: a path entry like "lib/obs/metrics" must
+             not make an unrelated lib/core/metrics.ml hot. *)
+          (not (String.contains entry '/')) && String.equal base entry)
         t.hot_path_modules
     then Hot_basename_deprecated
     else Not_hot

@@ -77,10 +77,11 @@ let description = function
        List helpers built on them) walk values generically through a C \
        loop, defeating the dense-int/flat-float layout work on the \
        decision path.  Every module on the per-decision hot path (the \
-       fast engine, Active_ring, Pifo, the obs sinks, the netcalc curve \
-       algebra) must compare through typed primitives so each comparison \
-       compiles to one machine instruction.  Scope: the configured \
-       hot-path module list."
+       fast engine, Active_ring, Pifo, the obs sinks, the telemetry \
+       plane — Metrics, Busmetrics, Span, Log_histogram — and the \
+       netcalc curve algebra) must compare through typed primitives so \
+       each comparison compiles to one machine instruction.  Scope: the \
+       configured hot-path module list."
   | R2 ->
       "A `try ... with _ ->` handler silently swallows Out_of_memory, \
        Stack_overflow and programming errors such as Invalid_argument, \
@@ -117,8 +118,11 @@ let description = function
       "The typed zero-allocation proof.  Over the .cmt Typedtree, the \
        call graph is built from the configured decision entry points \
        (Drr_engine.decide, next_packet_noalloc, Pifo push/pop, the \
-       Active_ring ops, the obs sink emit paths) and every reachable \
-       function is checked for allocating constructs: closure creation, \
+       Active_ring ops, the obs sink emit paths, and the telemetry hot \
+       ops — Metrics incr/add/set_gauge/observe, Log_histogram \
+       observe/observe_ns, Busmetrics.on_event, Span enter/exit) and \
+       every reachable function is checked for allocating constructs: \
+       closure creation, \
        tuple/record/variant/constructor blocks, array literals, partial \
        application, boxed-float returns, and calls to allocating stdlib \
        externals.  Event constructions handed to an attached sink are \

@@ -2,13 +2,22 @@
 
     Flow queues are FIFO in every scheduler here, so the [n]-th [Serve]
     event of a flow serves the packet of its [n]-th [Enqueue]: the sink
-    keeps one pending-timestamp queue per flow, pushes on [Enqueue],
-    pops on [Serve], and records the difference.  [Drop]s never enter
-    the queue and [Flow_remove] clears it (queued packets that are never
-    served contribute no sample).  Attach with
-    {[ Netsim.create ~sink:(Delay.sink d) ]} (or tee it onto any other
-    consumer); the recorded samples feed the delay-bound harness
-    (test/test_bounds.ml) and the [midrr bounds] table. *)
+    keeps one pending-timestamp ring per flow, pushes on [Enqueue],
+    pops on [Serve], and streams the difference into a per-flow
+    log-bucket sketch ({!Midrr_stats.Log_histogram}).  Memory is O(1)
+    per flow — a fixed sketch plus a ring bounded by the flow's peak
+    backlog — rather than one slot per sample.  [Drop]s never enter the
+    ring and [Flow_remove] clears it (queued packets that are never
+    served contribute no sample).
+
+    [worst] is the sketch's exact running max; [quantile] reports the
+    sketch's conservative estimate (never below the true quantile,
+    never above the true max), which is what the delay-bound harness
+    (test/test_bounds.ml) and the [midrr bounds] table consume.  Attach
+    with {[ Netsim.create ~sink:(Delay.sink d) ]} (or tee it onto any
+    other consumer). *)
+
+module Log_histogram = Midrr_stats.Log_histogram
 
 type t
 
@@ -22,9 +31,15 @@ val flows : t -> int list
 
 val count : t -> flow:int -> int
 
-val samples : t -> flow:int -> float array
-(** Recorded enqueue-to-service delays (seconds) in service order; a
-    fresh copy. *)
-
 val worst : t -> flow:int -> float
-(** Largest recorded delay; [nan] when the flow has no samples. *)
+(** Largest recorded delay (exact); [nan] when the flow has no
+    samples. *)
+
+val quantile : t -> flow:int -> q:float -> float
+(** Streaming quantile estimate in [[true quantile, true max]]; [nan]
+    when the flow has no samples. *)
+
+val mean : t -> flow:int -> float
+
+val histogram : t -> flow:int -> Log_histogram.t option
+(** The flow's underlying sketch (shared, not a copy). *)

@@ -1,0 +1,117 @@
+(* Registry exporters: Prometheus text exposition and a one-screen
+   `top`-style snapshot.  Both are cold paths — they walk registry
+   snapshots and may allocate freely.  Callers folding through
+   [Busmetrics] should [Busmetrics.publish] first so gauges are
+   fresh. *)
+
+module Log_histogram = Midrr_stats.Log_histogram
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; we map every
+   other byte to '_' and prefix the subsystem. *)
+let sanitize name =
+  let s = String.map (fun c -> if is_name_char c then c else '_') name in
+  let s = if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "_" ^ s else s in
+  "midrr_" ^ s
+
+let fmt_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" v
+
+let quantiles = [ 0.5; 0.9; 0.99; 0.999 ]
+
+let prometheus_buf buf reg =
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      let n =
+        if
+          String.length n >= 6
+          && String.sub n (String.length n - 6) 6 = "_total"
+        then n
+        else n ^ "_total"
+      in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    (Metrics.counters reg);
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (fmt_float v)))
+    (Metrics.gauges reg);
+  List.iter
+    (fun (name, h) ->
+      let n = sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+      if Log_histogram.count h > 0 then
+        List.iter
+          (fun q ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%g\"} %s\n" n q
+                 (fmt_float (Log_histogram.quantile h ~q))))
+          quantiles;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" n (Log_histogram.count h));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" n (fmt_float (Log_histogram.sum h)));
+      if Log_histogram.count h > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s_max gauge\n%s_max %s\n" n n
+             (fmt_float (Log_histogram.max_value h))))
+    (Metrics.histograms reg)
+
+let prometheus_string reg =
+  let buf = Buffer.create 4096 in
+  prometheus_buf buf reg;
+  Buffer.contents buf
+
+(* Write-then-rename so a concurrent scraper never reads a torn file. *)
+let write_prometheus reg ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (prometheus_string reg);
+  close_out oc;
+  Sys.rename tmp path
+
+(* --- `midrr top`-style snapshot ------------------------------------------ *)
+
+let pp_top ppf reg =
+  let counters = Metrics.counters reg in
+  let gauges = Metrics.gauges reg in
+  let hists = Metrics.histograms reg in
+  Format.fprintf ppf "@[<v>";
+  if counters <> [] then begin
+    Format.fprintf ppf "@[<hov 2>counters:";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "@ %s=%d" name v)
+      counters;
+    Format.fprintf ppf "@]@,"
+  end;
+  if gauges <> [] then begin
+    Format.fprintf ppf "@[<hov 2>gauges:";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "@ %s=%.6g" name v)
+      gauges;
+    Format.fprintf ppf "@]@,"
+  end;
+  List.iter
+    (fun (name, h) ->
+      if Log_histogram.count h > 0 then
+        Format.fprintf ppf
+          "%-24s n=%-8d p50=%-10.4g p90=%-10.4g p99=%-10.4g p999=%-10.4g \
+           max=%-10.4g@,"
+          name (Log_histogram.count h)
+          (Log_histogram.quantile h ~q:0.5)
+          (Log_histogram.quantile h ~q:0.9)
+          (Log_histogram.quantile h ~q:0.99)
+          (Log_histogram.quantile h ~q:0.999)
+          (Log_histogram.max_value h))
+    hists;
+  Format.fprintf ppf "@]"

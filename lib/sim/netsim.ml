@@ -2,6 +2,9 @@ open Midrr_core
 module Rng = Midrr_stats.Rng
 module Timeseries = Midrr_stats.Timeseries
 module Counters = Midrr_obs.Counters
+module Metrics = Midrr_obs.Metrics
+module Busmetrics = Midrr_obs.Busmetrics
+module Span = Midrr_obs.Span
 
 type source =
   | Backlogged of { pkt_size : int }
@@ -36,6 +39,7 @@ type iface_info = {
   mutable busy : bool;
   mutable wake_pending : bool;
   i_ts : Timeseries.t; (* bytes carried, for utilization measurement *)
+  i_busy_gauge : Metrics.gauge; (* -1 when no metrics attached *)
 }
 
 type t = {
@@ -47,13 +51,34 @@ type t = {
   flows : (Types.flow_id, flow_info) Hashtbl.t;
   ifaces : (Types.iface_id, iface_info) Hashtbl.t;
   cells : Counters.t;
-  sink : Midrr_obs.Sink.t option;
+  sink : Midrr_obs.Sink.t option; (* effective: user sink + metrics fold *)
+  metrics : Busmetrics.t option;
+  spans : Span.t option;
+  sp_decide : int;
+  sp_enqueue : int;
+  sp_complete : int;
   mutable hooks : (time:float -> iface:Types.iface_id -> Packet.t -> unit) list;
 }
 
-let create ?(seed = 1) ?(bin = 1.0) ?(window_depth = 32) ?sink ~sched () =
+let create ?(seed = 1) ?(bin = 1.0) ?(window_depth = 32) ?sink ?metrics ?spans
+    ~sched () =
   if not (bin > 0.0) then invalid_arg "Netsim.create: bin <= 0";
   if window_depth <= 0 then invalid_arg "Netsim.create: window_depth <= 0";
+  (* The user sink runs first in the tee so an attached metrics fold can
+     never perturb what a trace consumer observes. *)
+  let effective_sink =
+    match (sink, metrics) with
+    | None, None -> None
+    | Some s, None -> Some s
+    | None, Some m -> Some (Busmetrics.sink m)
+    | Some s, Some m -> Some (Midrr_obs.Sink.tee s (Busmetrics.sink m))
+  in
+  let sp_decide, sp_enqueue, sp_complete =
+    match spans with
+    | None -> (-1, -1, -1)
+    | Some sp ->
+        (Span.phase sp "decide", Span.phase sp "enqueue", Span.phase sp "complete")
+  in
   let t =
     {
       engine = Engine.create ();
@@ -64,14 +89,20 @@ let create ?(seed = 1) ?(bin = 1.0) ?(window_depth = 32) ?sink ~sched () =
       flows = Hashtbl.create 32;
       ifaces = Hashtbl.create 8;
       cells = Counters.create ~kind:Completes ();
-      sink;
+      sink = effective_sink;
+      metrics;
+      spans;
+      sp_decide;
+      sp_enqueue;
+      sp_complete;
       hooks = [];
     }
   in
-  (* Only a user-supplied sink turns scheduler emission on: the internal
-     service counters are fed directly from [complete], so sink-less runs
-     pay nothing per decision. *)
-  (match sink with
+  (* Only an attached consumer (user sink or metrics fold) turns
+     scheduler emission on: the internal service counters are fed
+     directly from [complete], so sink-less runs pay nothing per
+     decision. *)
+  (match t.sink with
   | None -> ()
   | Some s ->
       Sched_intf.Packed.subscribe sched
@@ -97,6 +128,27 @@ let pkt_size_of = function
   | Tb { pkt_size; _ } ->
       pkt_size
 
+(* Platform-truth gauge: 1.0 while the interface is transmitting.  The
+   stored values are float literals (static), so flipping the gauge on
+   the decision path allocates nothing. *)
+let set_busy t ifc v =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      if ifc.i_busy_gauge >= 0 then
+        Metrics.set_gauge (Busmetrics.registry m) ifc.i_busy_gauge v
+
+(* All scheduler enqueues funnel through here so span tracing sees one
+   "enqueue" phase regardless of the source kind. *)
+let enqueue_pkt t p =
+  match t.spans with
+  | None -> Sched_intf.Packed.enqueue t.sched p
+  | Some sp ->
+      Span.enter sp t.sp_enqueue;
+      let accepted = Sched_intf.Packed.enqueue t.sched p in
+      Span.exit sp t.sp_enqueue;
+      accepted
+
 (* Keep a window of packets queued for pull-style sources so the flow stays
    continuously backlogged without materializing the whole transfer. *)
 let rec replenish t fi =
@@ -108,7 +160,7 @@ let rec replenish t fi =
           let p =
             Packet.create ~flow:fi.f_id ~size:pkt_size ~arrival:(now t)
           in
-          if Sched_intf.Packed.enqueue t.sched p then begin
+          if enqueue_pkt t p then begin
             kick_allowed t fi;
             replenish t fi
           end
@@ -120,7 +172,7 @@ let rec replenish t fi =
         then begin
           let size = Stdlib.min pkt_size fi.remaining in
           let p = Packet.create ~flow:fi.f_id ~size ~arrival:(now t) in
-          if Sched_intf.Packed.enqueue t.sched p then begin
+          if enqueue_pkt t p then begin
             fi.remaining <- fi.remaining - size;
             kick_allowed t fi;
             replenish t fi
@@ -145,11 +197,19 @@ and try_start t ifc =
                 ifc.wake_pending <- false;
                 try_start t ifc)
     end
-    else
-      match Sched_intf.Packed.next_packet t.sched ifc.i_id with
+    else begin
+      (match t.spans with
+      | Some sp -> Span.enter sp t.sp_decide
+      | None -> ());
+      let next = Sched_intf.Packed.next_packet t.sched ifc.i_id in
+      (match t.spans with
+      | Some sp -> Span.exit sp t.sp_decide
+      | None -> ());
+      match next with
       | None -> ()
       | Some pkt ->
           ifc.busy <- true;
+          set_busy t ifc 1.0;
           (match Hashtbl.find_opt t.flows pkt.flow with
           | Some fi ->
               fi.inflight <- fi.inflight + 1;
@@ -158,12 +218,17 @@ and try_start t ifc =
           let dt = Types.tx_time ~bytes:pkt.size ~rate in
           Engine.schedule_in t.engine ~after:dt (fun () ->
               ifc.busy <- false;
+              set_busy t ifc 0.0;
               complete t ifc pkt;
               try_start t ifc)
+    end
   end
 
 and complete t ifc (pkt : Packet.t) =
   let time = now t in
+  (match t.spans with
+  | Some sp -> Span.enter sp t.sp_complete
+  | None -> ());
   Counters.add t.cells ~flow:pkt.flow ~iface:ifc.i_id ~bytes:pkt.size;
   (match t.sink with
   | None -> ()
@@ -173,7 +238,7 @@ and complete t ifc (pkt : Packet.t) =
            { flow = pkt.flow; iface = ifc.i_id; bytes = pkt.size }));
   Timeseries.record ifc.i_ts ~time ~bytes:pkt.size;
   List.iter (fun hook -> hook ~time ~iface:ifc.i_id pkt) t.hooks;
-  match Hashtbl.find_opt t.flows pkt.flow with
+  (match Hashtbl.find_opt t.flows pkt.flow with
   | None -> ()
   | Some fi ->
       Timeseries.record fi.ts ~time ~bytes:pkt.size;
@@ -184,7 +249,8 @@ and complete t ifc (pkt : Packet.t) =
         when fi.remaining = 0 && fi.inflight = 0
              && not (Sched_intf.Packed.is_backlogged t.sched fi.f_id) ->
           if fi.done_at = None then fi.done_at <- Some time
-      | _ -> ())
+      | _ -> ()));
+  match t.spans with Some sp -> Span.exit sp t.sp_complete | None -> ()
 
 and kick_allowed t fi =
   List.iter
@@ -199,7 +265,7 @@ and kick_allowed t fi =
 let inject t fi size =
   if not fi.stopped then begin
     let p = Packet.create ~flow:fi.f_id ~size ~arrival:(now t) in
-    ignore (Sched_intf.Packed.enqueue t.sched p);
+    ignore (enqueue_pkt t p);
     kick_allowed t fi
   end
 
@@ -272,6 +338,12 @@ let rec on_off_on t fi ~rate ~pkt_size ~on_mean ~off_mean ~stop =
 
 let add_iface t j profile =
   if Hashtbl.mem t.ifaces j then invalid_arg "Netsim.add_iface: duplicate";
+  let i_busy_gauge =
+    match t.metrics with
+    | None -> -1
+    | Some m ->
+        Metrics.gauge (Busmetrics.registry m) (Printf.sprintf "iface%d_busy" j)
+  in
   let ifc =
     {
       i_id = j;
@@ -279,6 +351,7 @@ let add_iface t j profile =
       busy = false;
       wake_pending = false;
       i_ts = Timeseries.create ~bin:t.bin;
+      i_busy_gauge;
     }
   in
   Hashtbl.replace t.ifaces j ifc;

@@ -44,6 +44,8 @@ val create :
   ?bin:float ->
   ?window_depth:int ->
   ?sink:Midrr_obs.Sink.t ->
+  ?metrics:Midrr_obs.Busmetrics.t ->
+  ?spans:Midrr_obs.Span.t ->
   sched:Sched_intf.packed ->
   unit ->
   t
@@ -54,8 +56,16 @@ val create :
     [sink] subscribes to the run's full event stream, stamped with
     simulation time: the scheduler's decision events (the simulator
     installs itself on [sched] via {!Sched_intf.Packed.subscribe}) plus a
-    [Complete] event per delivered packet.  Without it no scheduler
-    emission is enabled at all. *)
+    [Complete] event per delivered packet.
+
+    [metrics] attaches a {!Midrr_obs.Busmetrics} fold to the same
+    stream, teed {e after} the user sink so traces are unaffected, and
+    additionally maintains a platform-truth [iface<j>_busy] gauge per
+    interface (1.0 while transmitting).  [spans] brackets the
+    scheduler-facing phases — "decide" ({!Sched_intf.Packed.next_packet}),
+    "enqueue", "complete" — with sampled timestamps for Chrome-trace
+    export.  Without any of the three, no scheduler emission is enabled
+    at all and the decision path stays allocation-free. *)
 
 val engine : t -> Engine.t
 

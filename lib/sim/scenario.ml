@@ -367,11 +367,26 @@ let make_sched ?(engine = Engine_fast) spec =
   | Sched_pifo_wfq, _ -> Prog_wfq.packed (Prog_wfq.create ())
   | Sched_pifo_rr, _ -> Prog_rr.packed (Prog_rr.create ())
 
-let run ?sink ?seed ?engine ?sched t =
+let run ?sink ?metrics ?spans ?ticks ?seed ?engine ?sched t =
   let sched =
     match sched with Some f -> f () | None -> make_sched ?engine t.sched
   in
-  let sim = Netsim.create ?seed ~bin:0.5 ?sink ~sched () in
+  let sim = Netsim.create ?seed ~bin:0.5 ?sink ?metrics ?spans ~sched () in
+  (* Periodic telemetry callbacks (exporter flushes, top snapshots):
+     fire every [interval] seconds of simulation time up to the
+     horizon, starting one interval in. *)
+  (match ticks with
+  | None -> ()
+  | Some (interval, f) ->
+      if not (interval > 0.0) then
+        invalid_arg "Scenario.run: tick interval <= 0";
+      let rec tick at =
+        if at <= t.horizon then
+          Netsim.at sim at (fun () ->
+              f ~time:at;
+              tick (at +. interval))
+      in
+      tick interval);
   List.iter (fun (j, profile) -> Netsim.add_iface sim j profile) t.ifaces;
   let ids = Hashtbl.create 16 in
   List.iteri
@@ -464,8 +479,8 @@ let run ?sink ?seed ?engine ?sched t =
   in
   { windows; completions }
 
-let run_text ?sink ?seed ?engine ?sched text =
-  Result.map (run ?sink ?seed ?engine ?sched) (parse text)
+let run_text ?sink ?metrics ?spans ?ticks ?seed ?engine ?sched text =
+  Result.map (run ?sink ?metrics ?spans ?ticks ?seed ?engine ?sched) (parse text)
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

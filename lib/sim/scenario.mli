@@ -139,6 +139,9 @@ val make_sched :
 
 val run :
   ?sink:Midrr_obs.Sink.t ->
+  ?metrics:Midrr_obs.Busmetrics.t ->
+  ?spans:Midrr_obs.Span.t ->
+  ?ticks:float * (time:float -> unit) ->
   ?seed:int ->
   ?engine:engine ->
   ?sched:(unit -> Midrr_core.Sched_intf.packed) ->
@@ -146,18 +149,25 @@ val run :
   report
 (** Build the simulation and execute it.  [sink] receives the run's full
     event stream (see {!Netsim.create}); `midrr run --trace` streams it
-    to a JSONL file.  [seed] (see {!Netsim.create}) drives the stochastic
-    sources; sweeps vary it per grid point.  [engine] (default
-    {!Engine_fast}) picks the scheduler implementation for [midrr]/[drr]
-    scenarios; both must produce identical behavior, so this only matters
-    for cross-checking and benchmarking.  [wfq]/[rr] scenarios ignore
-    it.  [sched], when given, builds the scheduler instance itself —
-    overriding the scenario's [scheduler] directive and [engine] — which
-    is how [--sched] overrides work and how the replay oracle injects a
-    pre-subscribed instance. *)
+    to a JSONL file.  [metrics] and [spans] attach the telemetry plane
+    (see {!Netsim.create}); [ticks = (interval, f)] calls [f] every
+    [interval] seconds of simulation time up to the horizon — `midrr run
+    --metrics` flushes the Prometheus file and `--top` prints snapshots
+    from such a tick.  [seed] (see {!Netsim.create}) drives the
+    stochastic sources; sweeps vary it per grid point.  [engine]
+    (default {!Engine_fast}) picks the scheduler implementation for
+    [midrr]/[drr] scenarios; both must produce identical behavior, so
+    this only matters for cross-checking and benchmarking.  [wfq]/[rr]
+    scenarios ignore it.  [sched], when given, builds the scheduler
+    instance itself — overriding the scenario's [scheduler] directive
+    and [engine] — which is how [--sched] overrides work and how the
+    replay oracle injects a pre-subscribed instance. *)
 
 val run_text :
   ?sink:Midrr_obs.Sink.t ->
+  ?metrics:Midrr_obs.Busmetrics.t ->
+  ?spans:Midrr_obs.Span.t ->
+  ?ticks:float * (time:float -> unit) ->
   ?seed:int ->
   ?engine:engine ->
   ?sched:(unit -> Midrr_core.Sched_intf.packed) ->

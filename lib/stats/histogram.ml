@@ -5,6 +5,7 @@ type t = {
   counts : int array;
   mutable underflow : int;
   mutable overflow : int;
+  mutable nan : int;
   mutable total : int;
 }
 
@@ -18,12 +19,16 @@ let create ~lo ~hi ~bins =
     counts = Array.make bins 0;
     underflow = 0;
     overflow = 0;
+    nan = 0;
     total = 0;
   }
 
 let add t x =
   t.total <- t.total + 1;
-  if x < t.lo then t.underflow <- t.underflow + 1
+  (* NaN compares false against both edges and would otherwise land in
+     bin 0 via [int_of_float nan = 0]; count it explicitly instead. *)
+  if x <> x then t.nan <- t.nan + 1
+  else if x < t.lo then t.underflow <- t.underflow + 1
   else if x >= t.hi then t.overflow <- t.overflow + 1
   else begin
     let i = int_of_float ((x -. t.lo) /. t.width) in
@@ -44,6 +49,7 @@ let bin_count t i =
 
 let underflow t = t.underflow
 let overflow t = t.overflow
+let nan_count t = t.nan
 
 let bin_edges t i =
   if i < 0 || i >= Array.length t.counts then
@@ -68,4 +74,5 @@ let pp ppf t =
       Format.fprintf ppf "[%10.4g, %10.4g) %6d %s@." lo hi c bar)
     t.counts;
   if t.underflow > 0 then Format.fprintf ppf "underflow %d@." t.underflow;
-  if t.overflow > 0 then Format.fprintf ppf "overflow %d@." t.overflow
+  if t.overflow > 0 then Format.fprintf ppf "overflow %d@." t.overflow;
+  if t.nan > 0 then Format.fprintf ppf "nan %d@." t.nan

@@ -21,6 +21,10 @@ val bin_count : t -> int -> int
 val underflow : t -> int
 val overflow : t -> int
 
+val nan_count : t -> int
+(** NaN observations.  They count toward [count] but land in neither a
+    bin nor the under/overflow cells. *)
+
 val bin_edges : t -> int -> float * float
 (** [bin_edges t i] is the half-open interval covered by bin [i]. *)
 

@@ -309,14 +309,15 @@ let test_hot_path_scoping () =
   check "path-scoped entry matches" "path" "lib/core/drr_engine.ml";
   check "interfaces too" "path" "lib/core/drr_engine.mli";
   check "other directories stay cold" "not" "lib/sim/link.ml";
-  (* a colliding basename elsewhere matches only through the deprecated
-     fallback: hot for safety, but the driver warns so the entry gets
-     path-scoped rather than silently widening *)
+  (* only bare (slash-free) legacy entries fall back to basename
+     matching — hot for safety, with a driver warning so the entry gets
+     path-scoped; a path entry must never widen to unrelated twins
+     (lib/obs/metrics must not make a lib/core/metrics.ml hot) *)
   let bare = { Config.default with hot_path_modules = [ "drr_engine" ] } in
   Alcotest.(check string)
     "bare entry hits any directory" "basename"
     (to_str (Config.hot_path_match bare "lib/experiments/drr_engine.ml"));
-  check "twin basename is hot only via the warned fallback" "basename"
+  check "twin basename stays cold under a path-scoped entry" "not"
     "lib/experiments/drr_engine.ml";
   check "unrelated basename stays cold under a path entry" "not"
     "lib/experiments/sweep.ml";

@@ -338,7 +338,179 @@ let test_timeseries_rate_between () =
   close ~tol:1e-9 "partial window" 1.0
     (Timeseries.rate_between ~unit_scale:1e6 ts ~t0:2.5 ~t1:7.5)
 
+(* --- Log_histogram ------------------------------------------------------- *)
+
+module Log_histogram = Midrr_stats.Log_histogram
+
+let test_loghist_basic () =
+  let h = Log_histogram.create_range ~lo:1e-3 ~hi:1e3 ~rel_error:0.05 in
+  List.iter (Log_histogram.observe h) [ 0.1; 0.2; 0.4; 0.8 ];
+  Alcotest.(check int) "count" 4 (Log_histogram.count h);
+  close ~tol:1e-9 "sum" 1.5 (Log_histogram.sum h);
+  close ~tol:1e-9 "mean" 0.375 (Log_histogram.mean h);
+  close ~tol:1e-9 "min" 0.1 (Log_histogram.min_value h);
+  close ~tol:1e-9 "max" 0.8 (Log_histogram.max_value h);
+  (* the quantile estimate sits in [true quantile, true quantile * gamma],
+     clamped by the exact max *)
+  let g = Log_histogram.gamma h in
+  let q50 = Log_histogram.quantile h ~q:0.5 in
+  if q50 < 0.2 || q50 > (0.2 *. g) +. 1e-9 then
+    Alcotest.failf "p50 %.6g outside [0.2, %.6g]" q50 (0.2 *. g);
+  close ~tol:1e-9 "p100 is exact max" 0.8 (Log_histogram.quantile h ~q:1.0)
+
+let test_loghist_nan_cell () =
+  let h = Log_histogram.create_range ~lo:1e-3 ~hi:1e3 ~rel_error:0.05 in
+  Log_histogram.observe h 1.0;
+  Log_histogram.observe h Float.nan;
+  Log_histogram.observe h Float.nan;
+  Alcotest.(check int) "nan cell" 2 (Log_histogram.nan_count h);
+  Alcotest.(check int) "numeric count excludes nan" 1 (Log_histogram.count h);
+  Alcotest.(check int) "no underflow" 0 (Log_histogram.underflow h);
+  Alcotest.(check int) "no overflow" 0 (Log_histogram.overflow h);
+  close ~tol:1e-9 "quantiles unaffected" 1.0 (Log_histogram.quantile h ~q:0.5)
+
+let test_loghist_under_overflow () =
+  let h = Log_histogram.create_range ~lo:1.0 ~hi:10.0 ~rel_error:0.05 in
+  Log_histogram.observe h 0.5;
+  Log_histogram.observe h (-3.0);
+  Log_histogram.observe h 1e9;
+  Alcotest.(check int) "underflow" 2 (Log_histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Log_histogram.overflow h);
+  Alcotest.(check int) "all numeric counted" 3 (Log_histogram.count h);
+  (* overflow region reports the exact running max *)
+  close ~tol:1e-9 "p100 exact" 1e9 (Log_histogram.quantile h ~q:1.0)
+
+let test_loghist_observe_ns () =
+  (* [observe_ns ns] must land in the same bucket as
+     [observe (ns * 1e-9)]: same counts, same quantiles. *)
+  let a = Log_histogram.create_range ~lo:1e-6 ~hi:1e3 ~rel_error:0.05 in
+  let b = Log_histogram.create_range ~lo:1e-6 ~hi:1e3 ~rel_error:0.05 in
+  let samples_ns = [ 1_000; 12_345; 1_500_000; 2_000_000_000 ] in
+  List.iter
+    (fun ns ->
+      Log_histogram.observe_ns a ns;
+      Log_histogram.observe b (Float.of_int ns *. 1e-9))
+    samples_ns;
+  Alcotest.(check int) "counts" (Log_histogram.count b) (Log_histogram.count a);
+  for i = 0 to Log_histogram.bins a - 1 do
+    if Log_histogram.bucket_count a i <> Log_histogram.bucket_count b i then
+      Alcotest.failf "bucket %d differs: %d vs %d" i
+        (Log_histogram.bucket_count a i)
+        (Log_histogram.bucket_count b i)
+  done;
+  List.iter
+    (fun q ->
+      close ~tol:1e-12
+        (Printf.sprintf "q=%.3f" q)
+        (Log_histogram.quantile b ~q)
+        (Log_histogram.quantile a ~q))
+    [ 0.5; 0.9; 0.99; 1.0 ]
+
+let test_loghist_merge_geometry () =
+  let a = Log_histogram.create ~lo:1e-3 ~gamma:1.05 ~bins:100 in
+  let b = Log_histogram.create ~lo:1e-3 ~gamma:1.10 ~bins:100 in
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Log_histogram.merge_into: geometry mismatch") (fun () ->
+      Log_histogram.merge_into ~src:a ~dst:b)
+
+let test_histogram_nan_cell () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add h 5.0;
+  Histogram.add h Float.nan;
+  Alcotest.(check int) "nan cell" 1 (Histogram.nan_count h);
+  Alcotest.(check int) "count includes nan" 2 (Histogram.count h);
+  (* the NaN must not be silently binned (int_of_float nan = 0) *)
+  Alcotest.(check int) "bin 0 untouched" 0 (Histogram.bin_count h 0);
+  Alcotest.(check int) "no underflow" 0 (Histogram.underflow h);
+  Alcotest.(check int) "no overflow" 0 (Histogram.overflow h)
+
+(* --- Log_histogram properties (qcheck) ----------------------------------- *)
+
+let positive_samples_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 200) (float_range 1e-5 1e4) >|= Array.of_list)
+
+let positive_samples =
+  QCheck.make positive_samples_gen ~print:(fun xs ->
+      String.concat ";" (Array.to_list (Array.map string_of_float xs)))
+
+let sketch_of ?(rel_error = 0.05) xs =
+  let h = Log_histogram.create_range ~lo:1e-6 ~hi:1e6 ~rel_error in
+  Array.iter (Log_histogram.observe h) xs;
+  h
+
+let prop_quantile_rel_error =
+  QCheck.Test.make ~count:200
+    ~name:"sketch quantile within one bucket of exact quantile"
+    positive_samples (fun xs ->
+      let h = sketch_of xs in
+      let c = Cdf.of_samples xs in
+      let g = Log_histogram.gamma h in
+      List.for_all
+        (fun q ->
+          let exact = Cdf.quantile c ~q in
+          let est = Log_histogram.quantile h ~q in
+          est >= exact -. 1e-12 && est <= (exact *. g) +. 1e-12)
+        [ 0.1; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"sketch merge is associative"
+    (QCheck.triple positive_samples positive_samples positive_samples)
+    (fun (xs, ys, zs) ->
+      let left =
+        (* (a + b) + c *)
+        let acc = sketch_of xs in
+        Log_histogram.merge_into ~src:(sketch_of ys) ~dst:acc;
+        Log_histogram.merge_into ~src:(sketch_of zs) ~dst:acc;
+        acc
+      in
+      let right =
+        (* a + (b + c) *)
+        let bc = sketch_of ys in
+        Log_histogram.merge_into ~src:(sketch_of zs) ~dst:bc;
+        let acc = sketch_of xs in
+        Log_histogram.merge_into ~src:bc ~dst:acc;
+        acc
+      in
+      let buckets_equal =
+        let n = Log_histogram.bins left in
+        let rec go i =
+          i >= n
+          || Log_histogram.bucket_count left i
+               = Log_histogram.bucket_count right i
+             && go (i + 1)
+        in
+        go 0
+      in
+      buckets_equal
+      && Log_histogram.count left = Log_histogram.count right
+      && Float.abs (Log_histogram.sum left -. Log_histogram.sum right) < 1e-6
+      && Float.equal (Log_histogram.max_value left)
+           (Log_histogram.max_value right)
+      && Float.equal (Log_histogram.min_value left)
+           (Log_histogram.min_value right))
+
+let prop_snapshot_idempotent =
+  QCheck.Test.make ~count:200
+    ~name:"quantile reads do not perturb the sketch" positive_samples
+    (fun xs ->
+      let h = sketch_of xs in
+      let before = Log_histogram.copy h in
+      let qs = [ 0.0; 0.1; 0.5; 0.9; 0.99; 0.999; 1.0 ] in
+      let first = List.map (fun q -> Log_histogram.quantile h ~q) qs in
+      let second = List.map (fun q -> Log_histogram.quantile h ~q) qs in
+      List.for_all2 Float.equal first second
+      && Log_histogram.same_geometry before h
+      && Log_histogram.count before = Log_histogram.count h
+      && Float.equal (Log_histogram.sum before) (Log_histogram.sum h))
+
 let () =
+  let rand =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> Random.State.make [| int_of_string s |]
+    | None -> Random.State.make [| 20130109 |]
+  in
+  let to_alcotest t = QCheck_alcotest.to_alcotest ~rand t in
   Alcotest.run "stats"
     [
       ( "rng",
@@ -388,7 +560,26 @@ let () =
           Alcotest.test_case "edges" `Quick test_histogram_edges;
           Alcotest.test_case "density" `Quick
             test_histogram_density_sums_to_one;
+          Alcotest.test_case "nan cell" `Quick test_histogram_nan_cell;
         ] );
+      ( "log_histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_loghist_basic;
+          Alcotest.test_case "nan cell" `Quick test_loghist_nan_cell;
+          Alcotest.test_case "under/overflow" `Quick
+            test_loghist_under_overflow;
+          Alcotest.test_case "observe_ns equivalence" `Quick
+            test_loghist_observe_ns;
+          Alcotest.test_case "merge geometry guard" `Quick
+            test_loghist_merge_geometry;
+        ] );
+      ( "log_histogram properties",
+        List.map to_alcotest
+          [
+            prop_quantile_rel_error;
+            prop_merge_associative;
+            prop_snapshot_idempotent;
+          ] );
       ( "ewma",
         [
           Alcotest.test_case "converges" `Quick test_ewma_converges;
