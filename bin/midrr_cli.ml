@@ -370,23 +370,39 @@ let top =
            gauges, delay quantiles) to stderr every \
            $(b,--metrics-interval) seconds of simulation time.")
 
+(* Engine names parse to a tag first; [--shards] resolves [sharded] to
+   its concrete [Engine_sharded n] at command time. *)
+let engine_tag_conv =
+  Arg.enum [ ("fast", `Fast); ("ref", `Ref); ("sharded", `Sharded) ]
+
+let resolve_engine ~shards = function
+  | `Fast -> Midrr_sim.Scenario.Engine_fast
+  | `Ref -> Midrr_sim.Scenario.Engine_ref
+  | `Sharded ->
+      if shards < 1 then failwith "--shards must be >= 1";
+      Midrr_sim.Scenario.Engine_sharded shards
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard count for $(b,--engine sharded): the fast engine is \
+           partitioned over $(docv) private per-shard instances (default \
+           4).  Ignored by the other engines.")
+
 let engine =
-  let engine_conv =
-    Arg.enum
-      [
-        ("fast", Midrr_sim.Scenario.Engine_fast);
-        ("ref", Midrr_sim.Scenario.Engine_ref);
-      ]
-  in
   Arg.(
     value
-    & opt engine_conv Midrr_sim.Scenario.Engine_fast
+    & opt engine_tag_conv `Fast
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "DRR/miDRR engine implementation: $(b,fast) (the default \
-           O(active-flows) engine) or $(b,ref) (the reference \
-           executable-specification engine).  Both produce identical \
-           schedules; $(b,ref) exists for cross-checking and benchmarking.")
+           O(active-flows) engine), $(b,ref) (the reference \
+           executable-specification engine) or $(b,sharded) (the fast \
+           engine partitioned across $(b,--shards) instances).  All \
+           produce identical schedules; $(b,ref) exists for \
+           cross-checking and benchmarking.")
 
 let sched_override =
   let parse s =
@@ -416,11 +432,13 @@ let run_cmd =
        ~doc:"Run a declarative scenario file and print its measurements")
     Term.(
       const (fun trace metrics_out metrics_interval chrome_trace top engine
-                 sched path ->
+                 shards sched path ->
           run_scenario ?trace ?metrics_out ~metrics_interval ?chrome_trace
-            ~top ~engine ~sched path)
+            ~top
+            ~engine:(resolve_engine ~shards engine)
+            ~sched path)
       $ trace $ metrics_out $ metrics_interval $ chrome_trace $ top $ engine
-      $ sched_override $ scenario_file)
+      $ shards_arg $ sched_override $ scenario_file)
 
 let bounds_files =
   Arg.(
@@ -491,18 +509,13 @@ let sweep_master_seed =
         ~doc:"Master seed expanded by $(b,--nseeds).")
 
 let sweep_engines =
-  let engine_conv =
-    Arg.enum
-      [
-        ("fast", Midrr_sim.Scenario.Engine_fast);
-        ("ref", Midrr_sim.Scenario.Engine_ref);
-      ]
-  in
   Arg.(
     value
-    & opt (list engine_conv) [ Midrr_sim.Scenario.Engine_fast ]
+    & opt (list engine_tag_conv) [ `Fast ]
     & info [ "engines" ] ~docv:"E1,E2"
-        ~doc:"Engines to cross into the grid: $(b,fast) and/or $(b,ref).")
+        ~doc:
+          "Engines to cross into the grid: any of $(b,fast), $(b,ref) and \
+           $(b,sharded) ($(b,--shards) fixes the shard count).")
 
 let sweep_cmd =
   Cmd.v
@@ -512,10 +525,12 @@ let sweep_cmd =
           ($(b,--jobs)), and print each point's report in deterministic \
           grid order")
     Term.(
-      const (fun jobs seeds nseeds master_seed engines sched paths ->
-          run_sweep ~jobs ~seeds ~nseeds ~master_seed ~engines ~sched paths)
+      const (fun jobs seeds nseeds master_seed engines shards sched paths ->
+          run_sweep ~jobs ~seeds ~nseeds ~master_seed
+            ~engines:(List.map (resolve_engine ~shards) engines)
+            ~sched paths)
       $ jobs $ sweep_seeds $ sweep_nseeds $ sweep_master_seed $ sweep_engines
-      $ sched_override $ sweep_files)
+      $ shards_arg $ sched_override $ sweep_files)
 
 let main =
   let doc = "miDRR reproduction: scheduling packets over multiple interfaces" in

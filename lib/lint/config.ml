@@ -32,6 +32,8 @@ let default =
         "lib/core/pifo";
         "lib/core/sched_prog";
         "lib/core/active_ring";
+        "lib/core/spsc";
+        "lib/core/shard_engine";
         "lib/sim/event_queue";
         "lib/obs/sink";
         "lib/obs/recorder";
@@ -87,6 +89,10 @@ let default =
         "Busmetrics.on_event";
         "Span.enter";
         "Span.exit";
+        (* the sharded engine's mailbox hot ops: a push is an array store
+           plus one atomic cursor bump, a pop the mirror image *)
+        "Spsc.try_push";
+        "Spsc.try_pop";
       ];
     (* R8 roots: display-name suffixes recognized as the parallel
        executor's task-accepting entry points. *)

@@ -343,7 +343,7 @@ let has_events t = t.events <> []
 
 (* --- execution --------------------------------------------------------------- *)
 
-type engine = Engine_fast | Engine_ref
+type engine = Engine_fast | Engine_ref | Engine_sharded of int
 
 let make_sched ?(engine = Engine_fast) spec =
   match (spec, engine) with
@@ -354,10 +354,18 @@ let make_sched ?(engine = Engine_fast) spec =
         ( (module Drr_engine_ref),
           Drr_engine_ref.create ?counter_max:counter
             Drr_engine_ref.Service_flags )
+  | Sched_midrr counter, Engine_sharded n ->
+      Sched_intf.Packed
+        ( (module Shard_engine),
+          Shard_engine.create ?counter_max:counter ~shards:n
+            Drr_engine.Service_flags )
   | Sched_drr, Engine_fast -> Drr.packed (Drr.create ())
   | Sched_drr, Engine_ref ->
       Sched_intf.Packed
         ((module Drr_engine_ref), Drr_engine_ref.create Drr_engine_ref.Plain)
+  | Sched_drr, Engine_sharded n ->
+      Sched_intf.Packed
+        ((module Shard_engine), Shard_engine.create ~shards:n Drr_engine.Plain)
   | Sched_wfq, _ -> Wfq.packed (Wfq.create ())
   | Sched_rr, _ -> Rrobin.packed (Rrobin.create ())
   | Sched_sprio, _ -> Prog_sprio.packed (Prog_sprio.create ())

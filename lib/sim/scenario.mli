@@ -102,6 +102,10 @@ type engine =
       (** the reference list-and-hashtable engine
           ({!Midrr_core.Drr_engine_ref}) — the executable spec, selectable
           with [midrr run --engine ref] *)
+  | Engine_sharded of int
+      (** the fast engine partitioned across the given number of shards
+          ({!Midrr_core.Shard_engine}, routed inline) — selectable with
+          [midrr run --engine sharded --shards N] *)
 
 val parse : string -> (t, string) result
 (** Parse scenario text; the error names the offending line. *)

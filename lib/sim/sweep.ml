@@ -17,6 +17,7 @@ type outcome = {
 let engine_name = function
   | Scenario.Engine_fast -> "fast"
   | Scenario.Engine_ref -> "ref"
+  | Scenario.Engine_sharded n -> Printf.sprintf "sharded%d" n
 
 (* Scenario-major, then seed, then engine: the grid order is part of the
    output contract — [run] merges positionally, so the rendered sweep is

@@ -1,0 +1,252 @@
+module Rng = Midrr_stats.Rng
+module Shard_engine = Midrr_core.Shard_engine
+
+type params = {
+  groups : int;
+  base_flows : int;
+  churn_users : int;
+  horizon : float;
+  active_per_group : int;
+  serve_every : float;
+  serve_budget : int;
+  pkt_size : int;
+  storm_every : int;
+}
+
+let default_params =
+  {
+    groups = 8;
+    base_flows = 40_000;
+    churn_users = 80;
+    horizon = 30.0;
+    active_per_group = 64;
+    serve_every = 0.25;
+    serve_budget = 128;
+    pkt_size = 1500;
+    storm_every = 40;
+  }
+
+let million_params =
+  {
+    groups = 8;
+    base_flows = 1_000_000;
+    churn_users = 2_000;
+    horizon = 120.0;
+    active_per_group = 256;
+    serve_every = 0.25;
+    serve_budget = 384;
+    pkt_size = 1500;
+    storm_every = 120;
+  }
+
+let scale p f =
+  let by n = int_of_float (Float.of_int n *. f) in
+  {
+    p with
+    base_flows = max 1 (by p.base_flows);
+    churn_users = max 1 (by p.churn_users);
+  }
+
+let per_group p = p.base_flows / p.groups
+let registered_flows p = per_group p * p.groups
+
+(* Growable op buffer. *)
+type buf = { mutable arr : Shard_engine.op array; mutable len : int }
+
+let dummy_op = Shard_engine.Op_serve { iface = 0; budget = 0 }
+
+let push b op =
+  if b.len >= Array.length b.arr then begin
+    let n = Array.make (2 * Array.length b.arr) dummy_op in
+    Array.blit b.arr 0 n 0 b.len;
+    b.arr <- n
+  end;
+  b.arr.(b.len) <- op;
+  b.len <- b.len + 1
+
+(* Session churn overlay: flow lifetimes from the calibrated session
+   model, one Gen stream per user (split seeds), flattened into a
+   time-sorted start/stop schedule.  The diurnal gate is opened
+   (waking hours 0-24) because the horizon here is minutes, not days. *)
+type churn_ev = { ce_time : float; ce_ord : int; ce_start : bool; ce_id : int }
+
+let churn_schedule rng p =
+  let gen_params =
+    {
+      Gen.default_params with
+      horizon = p.horizon;
+      waking_start = 0.0;
+      waking_stop = 24.0;
+    }
+  in
+  let evs = ref [] in
+  let ord = ref 0 in
+  for u = 0 to p.churn_users - 1 do
+    ignore u;
+    let seed = Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF in
+    List.iter
+      (fun { Gen.start; stop } ->
+        if stop > start then begin
+          evs := { ce_time = start; ce_ord = !ord; ce_start = true; ce_id = 0 }
+                 :: { ce_time = stop; ce_ord = !ord + 1; ce_start = false;
+                      ce_id = 0 }
+                 :: !evs;
+          ord := !ord + 2
+        end)
+      (Gen.generate ~seed gen_params)
+  done;
+  let arr = Array.of_list !evs in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare a.ce_time b.ce_time in
+      if c <> 0 then c else Int.compare a.ce_ord b.ce_ord)
+    arr;
+  arr
+
+let weight_of f = match f mod 3 with 0 -> 1.0 | 1 -> 2.0 | _ -> 4.0
+
+let ops ?(seed = 7) p =
+  if p.groups < 1 then invalid_arg "Fleet.ops: groups < 1";
+  if not (p.serve_every > 0.0) then invalid_arg "Fleet.ops: serve_every <= 0";
+  let rng = Rng.create ~seed in
+  let b = { arr = Array.make 4096 dummy_op; len = 0 } in
+  let npg = per_group p in
+  let base_total = npg * p.groups in
+  (* Interfaces first: group g owns 2g (e.g. WiFi) and 2g+1 (cellular). *)
+  for j = 0 to (2 * p.groups) - 1 do
+    push b (Shard_engine.Op_add_iface j)
+  done;
+  (* The registration storm: flow f belongs to group [f mod groups];
+     most flows accept both of the group's interfaces, a slice pins
+     itself to one (preferences stay inside the group, so the stream is
+     block-separable by construction). *)
+  let allowed_of f =
+    let g = f mod p.groups in
+    match f mod 11 with
+    | 0 -> [ 2 * g ]
+    | 1 -> [ (2 * g) + 1 ]
+    | _ -> [ 2 * g; (2 * g) + 1 ]
+  in
+  for f = 0 to base_total - 1 do
+    push b
+      (Shard_engine.Op_add_flow
+         { flow = f; weight = weight_of f; allowed = allowed_of f })
+  done;
+  (* Churn flows live above the base population, ids recycled through a
+     free list. *)
+  let churn = churn_schedule rng p in
+  let free = ref [] in
+  let next_id = ref base_total in
+  (* interval [ce_ord / 2] -> the id its session flow was assigned *)
+  let assigned = Hashtbl.create 1024 in
+  let sweeps = int_of_float (p.horizon /. p.serve_every) in
+  let windows = Array.make p.groups 0 in
+  let ci = ref 0 in
+  let emit_churn_until now =
+    while
+      !ci < Array.length churn && churn.(!ci).ce_time <= now
+    do
+      let ev = churn.(!ci) in
+      let sess = ev.ce_ord / 2 in
+      if ev.ce_start then begin
+        let id =
+          match !free with
+          | id :: rest ->
+              free := rest;
+              id
+          | [] ->
+              let id = !next_id in
+              incr next_id;
+              id
+        in
+        Hashtbl.replace assigned sess id;
+        let g = Rng.int rng ~bound:p.groups in
+        push b
+          (Shard_engine.Op_add_flow
+             {
+               flow = id;
+               weight = weight_of id;
+               allowed = [ 2 * g; (2 * g) + 1 ];
+             });
+        (* a session flow arrives with data in hand *)
+        push b
+          (Shard_engine.Op_enqueue
+             { flow = id; size = p.pkt_size; arrival = ev.ce_time });
+        push b
+          (Shard_engine.Op_enqueue
+             { flow = id; size = p.pkt_size; arrival = ev.ce_time })
+      end
+      else begin
+        match Hashtbl.find_opt assigned sess with
+        | None -> ()
+        | Some id ->
+            Hashtbl.remove assigned sess;
+            push b (Shard_engine.Op_remove_flow id);
+            free := id :: !free
+      end;
+      incr ci
+    done
+  in
+  for sweep = 0 to sweeps - 1 do
+    let now = Float.of_int sweep *. p.serve_every in
+    emit_churn_until now;
+    (* Keep each group's rotating window backlogged: spread the sweep's
+       serve capacity (2 interfaces x budget packets) over the window,
+       advancing the window so the whole registered population is
+       touched over the run. *)
+    for g = 0 to p.groups - 1 do
+      let active = if p.active_per_group < npg then p.active_per_group else npg in
+      if active > 0 then begin
+        let pkts = 2 * p.serve_budget in
+        for _ = 1 to pkts do
+          let k = Rng.int rng ~bound:active in
+          let f = g + (p.groups * ((windows.(g) + k) mod npg)) in
+          push b
+            (Shard_engine.Op_enqueue
+               { flow = f; size = p.pkt_size; arrival = now })
+        done;
+        windows.(g) <- (windows.(g) + active) mod npg
+      end
+    done;
+    (* Occasional control churn on the registered population: weight
+       changes and in-group preference flips. *)
+    for _ = 1 to p.groups do
+      let f = Rng.int rng ~bound:base_total in
+      if Rng.bool rng then
+        push b
+          (Shard_engine.Op_set_weight
+             { flow = f; weight = weight_of (f + sweep) })
+      else
+        let g = f mod p.groups in
+        push b
+          (Shard_engine.Op_set_allowed
+             {
+               flow = f;
+               allowed =
+                 (if Rng.bool rng then [ 2 * g ] else [ 2 * g; (2 * g) + 1 ]);
+             })
+    done;
+    (* Teardown/re-register storm: one window per group leaves and
+       comes back, the registration-path stress at steady state. *)
+    if p.storm_every > 0 && sweep > 0 && Int.equal (sweep mod p.storm_every) 0
+    then
+      for g = 0 to p.groups - 1 do
+        let active = if p.active_per_group < npg then p.active_per_group else npg in
+        for k = 0 to active - 1 do
+          let f = g + (p.groups * ((windows.(g) + k) mod npg)) in
+          push b (Shard_engine.Op_remove_flow f)
+        done;
+        for k = 0 to active - 1 do
+          let f = g + (p.groups * ((windows.(g) + k) mod npg)) in
+          push b
+            (Shard_engine.Op_add_flow
+               { flow = f; weight = weight_of f; allowed = allowed_of f })
+        done
+      done;
+    (* The serve sweep itself. *)
+    for j = 0 to (2 * p.groups) - 1 do
+      push b (Shard_engine.Op_serve { iface = j; budget = p.serve_budget })
+    done
+  done;
+  emit_churn_until p.horizon;
+  Array.sub b.arr 0 b.len

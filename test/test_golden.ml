@@ -94,6 +94,12 @@ let () =
             (check_against_golden "fast" Midrr_sim.Scenario.Engine_fast);
           Alcotest.test_case "ref engine matches golden" `Quick
             (check_against_golden "ref" Midrr_sim.Scenario.Engine_ref);
+          Alcotest.test_case "sharded engine (shards=1) matches golden" `Quick
+            (check_against_golden "sharded1"
+               (Midrr_sim.Scenario.Engine_sharded 1));
+          Alcotest.test_case "sharded engine (shards=4) matches golden" `Quick
+            (check_against_golden "sharded4"
+               (Midrr_sim.Scenario.Engine_sharded 4));
           Alcotest.test_case "engines agree beyond the prefix" `Quick
             engines_agree;
         ] );

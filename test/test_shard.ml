@@ -1,0 +1,611 @@
+(* Sharded engine tests.
+
+   Three layers:
+   - SPSC ring: model-based qcheck properties (FIFO order, no
+     loss/duplication across wraparound, bounded-capacity backpressure,
+     the burst variants), deterministic full/empty edge cases, and one
+     real two-domain producer/consumer run.
+   - The sharded-vs-single differential: random block-separable op
+     streams (flow/interface churn, teardown storms, unknown-flow
+     enqueues) replayed through [run_ops] at 1/2/4/8 shards and through
+     [run_ops_single], comparing aggregate stats, the canonically
+     merged event stream, and a full introspection walk of the final
+     state.  Strict mode is on: any partition conflict is a test bug.
+   - Per-shard metrics collection: the merged registry from N shard
+     collectors must equal a single-registry run of the same stream. *)
+
+open Midrr_core
+module Event = Midrr_obs.Event
+module Metrics = Midrr_obs.Metrics
+module Rng = Midrr_stats.Rng
+module Par = Midrr_par.Par
+
+(* --- SPSC: model-based properties ---------------------------------------- *)
+
+(* Replay a push/pop script against a FIFO queue model.  Pushed values
+   are consecutive ints, so any reordering, loss or duplication shows up
+   as a value mismatch. *)
+let spsc_script_test =
+  let arb =
+    QCheck.(
+      pair (int_range 1 9)
+        (list_of_size Gen.(int_range 0 300) bool))
+  in
+  QCheck.Test.make ~count:200 ~name:"spsc agrees with a FIFO queue model" arb
+    (fun (capacity, script) ->
+      let t = Spsc.create ~dummy:(-1) capacity in
+      let cap = Spsc.capacity t in
+      let model = Queue.create () in
+      let next = ref 0 in
+      List.iter
+        (fun is_push ->
+          if is_push then begin
+            let pushed = Spsc.try_push t !next in
+            if pushed <> (Queue.length model < cap) then
+              QCheck.Test.fail_reportf
+                "try_push %d returned %b with %d/%d buffered" !next pushed
+                (Queue.length model) cap;
+            if pushed then Queue.push !next model;
+            incr next
+          end
+          else
+            let got = Spsc.try_pop t in
+            let want = if Queue.is_empty model then -1 else Queue.pop model in
+            if got <> want then
+              QCheck.Test.fail_reportf "try_pop returned %d, model says %d" got
+                want)
+        script;
+      (* drain: whatever the model still holds must come out in order *)
+      Queue.iter
+        (fun want ->
+          let got = Spsc.try_pop t in
+          if got <> want then
+            QCheck.Test.fail_reportf "drain popped %d, model says %d" got want)
+        model;
+      Spsc.try_pop t = -1 && Spsc.is_empty t)
+
+(* Same model, burst operations: push_slice/pop_slice interleaved with
+   the single-element calls, random slice lengths, checking the returned
+   counts against the model's free room / occupancy. *)
+let spsc_slice_test =
+  let arb =
+    QCheck.(
+      pair (int_range 1 9)
+        (list_of_size Gen.(int_range 0 120)
+           (pair bool (int_range 0 12))))
+  in
+  QCheck.Test.make ~count:200 ~name:"spsc burst ops agree with the model" arb
+    (fun (capacity, script) ->
+      let t = Spsc.create ~dummy:(-1) capacity in
+      let cap = Spsc.capacity t in
+      let model = Queue.create () in
+      let next = ref 0 in
+      List.iter
+        (fun (is_push, len) ->
+          if is_push then begin
+            let src = Array.init len (fun k -> !next + k) in
+            let n = Spsc.push_slice t src ~pos:0 ~len in
+            let room = cap - Queue.length model in
+            let want = if len <= room then len else room in
+            if n <> want then
+              QCheck.Test.fail_reportf "push_slice len=%d pushed %d, room=%d"
+                len n room;
+            for k = 0 to n - 1 do
+              Queue.push src.(k) model
+            done;
+            next := !next + n
+          end
+          else begin
+            let dst = Array.make (max 1 len) (-2) in
+            let n = Spsc.pop_slice t dst ~pos:0 ~len in
+            let want = min len (Queue.length model) in
+            if n <> want then
+              QCheck.Test.fail_reportf "pop_slice len=%d popped %d, have %d" len
+                n want;
+            for k = 0 to n - 1 do
+              let v = Queue.pop model in
+              if dst.(k) <> v then
+                QCheck.Test.fail_reportf "pop_slice.(%d) = %d, model says %d" k
+                  dst.(k) v
+            done
+          end)
+        script;
+      Spsc.length t = Queue.length model)
+
+let spsc_edges () =
+  let t = Spsc.create ~dummy:(-1) 1 in
+  Alcotest.(check int) "capacity rounds to 1" 1 (Spsc.capacity t);
+  Alcotest.(check bool) "fresh ring is empty" true (Spsc.is_empty t);
+  Alcotest.(check int) "pop on empty yields dummy" (-1) (Spsc.try_pop t);
+  Alcotest.(check bool) "push into empty" true (Spsc.try_push t 7);
+  Alcotest.(check bool) "push into full backpressures" false (Spsc.try_push t 8);
+  Alcotest.(check int) "length at capacity" 1 (Spsc.length t);
+  Alcotest.(check int) "pop returns the element" 7 (Spsc.try_pop t);
+  Alcotest.(check int) "pop on drained yields dummy" (-1) (Spsc.try_pop t);
+  Alcotest.(check int) "push_slice on full ring"
+    0
+    (let u = Spsc.create ~dummy:(-1) 2 in
+     ignore (Spsc.push_slice u [| 1; 2 |] ~pos:0 ~len:2);
+     Spsc.push_slice u [| 3 |] ~pos:0 ~len:1);
+  Alcotest.(check int) "pop_slice on empty ring" 0
+    (Spsc.pop_slice (Spsc.create ~dummy:(-1) 2) (Array.make 4 0) ~pos:0 ~len:4);
+  Alcotest.check_raises "rejects zero capacity"
+    (Invalid_argument "Spsc.create: capacity must be > 0") (fun () ->
+      ignore (Spsc.create ~dummy:0 0))
+
+(* One real cross-domain run: producer and consumer domains hammer a
+   small ring through many wraparounds; the consumer must observe
+   exactly 0..n-1 in order. *)
+let spsc_two_domains () =
+  let n = 20_000 in
+  let t = Spsc.create ~dummy:(-1) 256 in
+  let producer () =
+    for v = 0 to n - 1 do
+      Spsc.push t v
+    done;
+    0
+  in
+  let consumer () =
+    let bad = ref (-1) in
+    for v = 0 to n - 1 do
+      let got = Spsc.pop t in
+      if got <> v && !bad < 0 then bad := v
+    done;
+    !bad
+  in
+  let results = Par.run ~jobs:2 [| consumer; producer |] in
+  Alcotest.(check int) "consumer saw 0..n-1 in order" (-1) results.(0);
+  Alcotest.(check bool) "ring drained" true (Spsc.is_empty t)
+
+(* --- differential: random block-separable streams ------------------------ *)
+
+(* Interface group [g] owns interfaces [2g] and [2g+1]; every preference
+   stays inside one group, so the stream replays under [~strict:true]
+   with zero partition conflicts.  The generator tracks liveness so the
+   only intentionally-invalid ops are unknown-flow enqueues (defined
+   behavior: a Drop event).  Group [groups-1] gets its interfaces late,
+   exercising the pending-interface path: flows register preferences for
+   interfaces that do not exist yet, then the interfaces come up. *)
+type gen_state = {
+  gs_rng : Rng.t;
+  gs_groups : int;
+  gs_added : bool array; (* ifaces currently registered (online) *)
+  gs_merged : bool array;
+      (* a flow spanning both of the group's interfaces has registered,
+         so the group is one component forever (unions never split) —
+         until then, single-interface preferences could bind the two
+         halves to different shards and a spanning flow would be a real
+         partition conflict, not a test bug *)
+  mutable gs_alive : (int * int) list; (* flow, group *)
+  mutable gs_next : int;
+  mutable gs_freed : (int * int) list; (* recycled ids keep their group *)
+}
+
+let pick_alive gs =
+  match gs.gs_alive with
+  | [] -> None
+  | l -> Some (List.nth l (Rng.int gs.gs_rng ~bound:(List.length l)))
+
+let sub_allowed gs g =
+  if not gs.gs_merged.(g) then begin
+    gs.gs_merged.(g) <- true;
+    [ 2 * g; (2 * g) + 1 ]
+  end
+  else
+    match Rng.int gs.gs_rng ~bound:3 with
+    | 0 -> [ 2 * g ]
+    | 1 -> [ (2 * g) + 1 ]
+    | _ -> [ 2 * g; (2 * g) + 1 ]
+
+let gen_add_flow gs push =
+  let id, g =
+    match gs.gs_freed with
+    | (id, g) :: rest when Rng.bool gs.gs_rng ->
+        gs.gs_freed <- rest;
+        (id, g)
+    | _ ->
+        let id = gs.gs_next in
+        gs.gs_next <- id + 1;
+        (id, Rng.int gs.gs_rng ~bound:gs.gs_groups)
+  in
+  gs.gs_alive <- (id, g) :: gs.gs_alive;
+  push
+    (Shard_engine.Op_add_flow
+       {
+         flow = id;
+         weight = float_of_int (1 + Rng.int gs.gs_rng ~bound:4);
+         allowed = sub_allowed gs g;
+       })
+
+let gen_ops ~seed ~groups ~late_group ~n_ops ~storm =
+  let gs =
+    {
+      gs_rng = Rng.create ~seed;
+      gs_groups = groups;
+      gs_added = Array.make (2 * groups) false;
+      gs_merged = Array.make groups false;
+      gs_alive = [];
+      gs_next = 0;
+      gs_freed = [];
+    }
+  in
+  let ops = ref [] in
+  let push op = ops := op :: !ops in
+  let rng = gs.gs_rng in
+  (* all groups but the late one come up front *)
+  let early = if late_group then (2 * groups) - 3 else (2 * groups) - 1 in
+  for j = 0 to early do
+    gs.gs_added.(j) <- true;
+    push (Shard_engine.Op_add_iface j)
+  done;
+  for _ = 1 to 5 do
+    gen_add_flow gs push
+  done;
+  for step = 1 to n_ops do
+    (* the late group's interfaces appear a third of the way in *)
+    if late_group && step = n_ops / 3 then
+      for j = (2 * groups) - 2 to (2 * groups) - 1 do
+        if not gs.gs_added.(j) then begin
+          gs.gs_added.(j) <- true;
+          push (Shard_engine.Op_add_iface j)
+        end
+      done;
+    (* periodic teardown storm: every alive flow leaves, half return *)
+    if storm > 0 && step mod storm = 0 then begin
+      let victims = gs.gs_alive in
+      List.iter
+        (fun (id, g) ->
+          push (Shard_engine.Op_remove_flow id);
+          gs.gs_freed <- (id, g) :: gs.gs_freed)
+        victims;
+      gs.gs_alive <- [];
+      List.iter (fun _ -> gen_add_flow gs push) (List.filteri (fun i _ -> i mod 2 = 0) victims)
+    end;
+    match Rng.int rng ~bound:100 with
+    | r when r < 30 -> (
+        match pick_alive gs with
+        | Some (id, _) ->
+            push
+              (Shard_engine.Op_enqueue
+                 {
+                   flow = id;
+                   size = 200 + (100 * Rng.int rng ~bound:12);
+                   arrival = float_of_int step;
+                 })
+        | None -> gen_add_flow gs push)
+    | r when r < 55 ->
+        let j = Rng.int rng ~bound:(2 * groups) in
+        if gs.gs_added.(j) then
+          push
+            (Shard_engine.Op_serve
+               { iface = j; budget = 1 + Rng.int rng ~bound:4 })
+    | r when r < 67 -> gen_add_flow gs push
+    | r when r < 75 -> (
+        match pick_alive gs with
+        | Some (id, g) ->
+            gs.gs_alive <- List.filter (fun (i, _) -> i <> id) gs.gs_alive;
+            gs.gs_freed <- (id, g) :: gs.gs_freed;
+            push (Shard_engine.Op_remove_flow id)
+        | None -> ())
+    | r when r < 81 ->
+        (* interface flap: keep each group's component non-empty by only
+           flapping one of its two interfaces *)
+        let g = Rng.int rng ~bound:groups in
+        let j = 2 * g in
+        if gs.gs_added.(j) then begin
+          gs.gs_added.(j) <- false;
+          push (Shard_engine.Op_remove_iface j)
+        end
+        else if gs.gs_added.((2 * g) + 1) || late_group = false || g < groups - 1
+        then begin
+          gs.gs_added.(j) <- true;
+          push (Shard_engine.Op_add_iface j)
+        end
+    | r when r < 87 -> (
+        match pick_alive gs with
+        | Some (id, _) ->
+            push
+              (Shard_engine.Op_set_weight
+                 {
+                   flow = id;
+                   weight = float_of_int (1 + Rng.int rng ~bound:5);
+                 })
+        | None -> ())
+    | r when r < 94 -> (
+        match pick_alive gs with
+        | Some (id, g) ->
+            push (Shard_engine.Op_set_allowed { flow = id; allowed = sub_allowed gs g })
+        | None -> ())
+    | _ ->
+        (* unknown-flow enqueue: defined behavior, a Drop event *)
+        push
+          (Shard_engine.Op_enqueue
+             {
+               flow = gs.gs_next + 1 + Rng.int rng ~bound:50;
+               size = 500;
+               arrival = float_of_int step;
+             })
+  done;
+  (* final serve pass so every backlog gets scheduling exercise *)
+  for j = 0 to (2 * groups) - 1 do
+    if gs.gs_added.(j) then push (Shard_engine.Op_serve { iface = j; budget = 8 })
+  done;
+  Array.of_list (List.rev !ops)
+
+let pp_event e = Format.asprintf "%a" Event.pp e
+
+(* Deep equality of final observable state between a sharded engine and
+   the single fast engine, via the full introspection surface. *)
+let check_state_equal ~what (t : Shard_engine.t) (e : Drr_engine.t) =
+  let check pp name a b =
+    if a <> b then
+      Alcotest.failf "%s: %s differs: sharded %s, single %s" what name (pp a)
+        (pp b)
+  in
+  let cki = check string_of_int
+  and ckf = check string_of_float
+  and ckb = check string_of_bool
+  and ckl = check (fun l -> String.concat "," (List.map string_of_int l)) in
+  ckl "flows" (Shard_engine.flows t) (Drr_engine.flows e);
+  ckl "ifaces" (Shard_engine.ifaces t) (Drr_engine.ifaces e);
+  cki "considered" (Shard_engine.considered t) (Drr_engine.considered e);
+  List.iter
+    (fun j ->
+      ckl
+        (Printf.sprintf "ring_flows %d" j)
+        (Shard_engine.ring_flows t j) (Drr_engine.ring_flows e j))
+    (Drr_engine.ifaces e);
+  List.iter
+    (fun f ->
+      let pre = Printf.sprintf "flow %d" f in
+      ckf (pre ^ " deficit") (Shard_engine.deficit t f) (Drr_engine.deficit e f);
+      ckf (pre ^ " quantum") (Shard_engine.quantum t f) (Drr_engine.quantum e f);
+      cki (pre ^ " turns") (Shard_engine.turns t f) (Drr_engine.turns e f);
+      cki (pre ^ " backlog_bytes")
+        (Shard_engine.backlog_bytes t f)
+        (Drr_engine.backlog_bytes e f);
+      cki (pre ^ " backlog_packets")
+        (Shard_engine.backlog_packets t f)
+        (Drr_engine.backlog_packets e f);
+      ckb (pre ^ " is_backlogged")
+        (Shard_engine.is_backlogged t f)
+        (Drr_engine.is_backlogged e f);
+      cki (pre ^ " served_bytes")
+        (Shard_engine.served_bytes t f)
+        (Drr_engine.served_bytes e f);
+      cki (pre ^ " drops") (Shard_engine.drops t f) (Drr_engine.drops e f);
+      ckl (pre ^ " allowed")
+        (Shard_engine.allowed_ifaces t f)
+        (Drr_engine.allowed_ifaces e f);
+      List.iter
+        (fun j ->
+          let prej = Printf.sprintf "flow %d iface %d" f j in
+          ckf
+            (prej ^ " deficit_on")
+            (Shard_engine.deficit_on t ~flow:f ~iface:j)
+            (Drr_engine.deficit_on e ~flow:f ~iface:j);
+          ckb
+            (prej ^ " service_flag")
+            (Shard_engine.service_flag t ~flow:f ~iface:j)
+            (Drr_engine.service_flag e ~flow:f ~iface:j);
+          cki
+            (prej ^ " service_counter")
+            (Shard_engine.service_counter t ~flow:f ~iface:j)
+            (Drr_engine.service_counter e ~flow:f ~iface:j);
+          cki (prej ^ " turns_on")
+            (Shard_engine.turns_on t ~flow:f ~iface:j)
+            (Drr_engine.turns_on e ~flow:f ~iface:j);
+          cki
+            (prej ^ " served_bytes_on")
+            (Shard_engine.served_bytes_on t ~flow:f ~iface:j)
+            (Drr_engine.served_bytes_on e ~flow:f ~iface:j))
+        (Drr_engine.allowed_ifaces e f))
+    (Drr_engine.flows e)
+
+let check_events_equal ~what (a : (int * Event.t) array)
+    (b : (int * Event.t) array) =
+  let n = min (Array.length a) (Array.length b) in
+  for k = 0 to n - 1 do
+    let sa, ea = a.(k) and sb, eb = b.(k) in
+    if sa <> sb || ea <> eb then
+      Alcotest.failf "%s: event %d differs: sharded (%d, %s), single (%d, %s)"
+        what k sa (pp_event ea) sb (pp_event eb)
+  done;
+  if Array.length a <> Array.length b then
+    Alcotest.failf "%s: %d events sharded, %d single" what (Array.length a)
+      (Array.length b)
+
+let run_differential ~seed ~groups ~late_group ~n_ops ~storm ~mode () =
+  let ops = gen_ops ~seed ~groups ~late_group ~n_ops ~storm in
+  let e = Drr_engine.create mode in
+  let single = Shard_engine.run_ops_single ~record:true e ops in
+  List.iter
+    (fun shards ->
+      let what = Printf.sprintf "shards=%d" shards in
+      let t = Shard_engine.create ~shards ~strict:true mode in
+      let st = Shard_engine.run_ops ~record:true t ops in
+      Alcotest.(check int)
+        (what ^ " conflicts") 0
+        (Shard_engine.partition_conflicts t);
+      Alcotest.(check int) (what ^ " decisions") single.rs_decisions st.rs_decisions;
+      Alcotest.(check int) (what ^ " sent") single.rs_sent st.rs_sent;
+      Alcotest.(check int) (what ^ " sent_bytes") single.rs_sent_bytes st.rs_sent_bytes;
+      Alcotest.(check int) (what ^ " enqueued") single.rs_enqueued st.rs_enqueued;
+      Alcotest.(check int) (what ^ " dropped") single.rs_dropped st.rs_dropped;
+      check_events_equal ~what st.rs_events single.rs_events;
+      check_state_equal ~what t e;
+      let homed = Array.fold_left ( + ) 0 (Shard_engine.shard_flow_counts t) in
+      Alcotest.(check int)
+        (what ^ " homed flows") (List.length (Drr_engine.flows e)) homed)
+    [ 1; 2; 4; 8 ]
+
+let wapply_single e op =
+  match op with
+  | Shard_engine.Op_add_iface j -> Drr_engine.add_iface e j
+  | Shard_engine.Op_remove_iface j -> Drr_engine.remove_iface e j
+  | Shard_engine.Op_add_flow { flow; weight; allowed } ->
+      Drr_engine.add_flow e ~flow ~weight ~allowed
+  | Shard_engine.Op_remove_flow f -> Drr_engine.remove_flow e f
+  | Shard_engine.Op_set_weight { flow; weight } ->
+      Drr_engine.set_weight e flow weight
+  | Shard_engine.Op_set_allowed { flow; allowed } ->
+      Drr_engine.set_allowed e flow allowed
+  | Shard_engine.Op_enqueue _ | Shard_engine.Op_serve _ -> assert false
+
+(* The inline (Sched_intf) path in lockstep: one shared op stream,
+   applied op-by-op to a 4-shard engine and the single engine, with
+   per-op event capture through the sinks. *)
+let inline_lockstep () =
+  let ops = gen_ops ~seed:11 ~groups:3 ~late_group:true ~n_ops:800 ~storm:200 in
+  let e = Drr_engine.create Drr_engine.Service_flags in
+  let t = Shard_engine.create ~shards:4 ~strict:true Drr_engine.Service_flags in
+  let evs_e = ref [] and evs_t = ref [] in
+  Drr_engine.set_sink e (Some (fun ev -> evs_e := ev :: !evs_e));
+  Shard_engine.set_sink t (Some (fun ev -> evs_t := ev :: !evs_t));
+  let st_e = ref 0 and st_t = ref 0 in
+  Array.iteri
+    (fun k op ->
+      (match op with
+      | Shard_engine.Op_serve { iface; budget } ->
+          for _ = 1 to budget do
+            (match Drr_engine.next_packet e iface with
+            | Some p -> st_e := !st_e + p.Packet.size
+            | None -> ());
+            match Shard_engine.next_packet t iface with
+            | Some p -> st_t := !st_t + p.Packet.size
+            | None -> ()
+          done
+      | Shard_engine.Op_enqueue { flow; size; arrival } ->
+          ignore (Drr_engine.enqueue e (Packet.create ~flow ~size ~arrival));
+          ignore (Shard_engine.enqueue t (Packet.create ~flow ~size ~arrival))
+      | op ->
+          wapply_single e op;
+          Shard_engine.apply t op);
+      if List.length !evs_e <> List.length !evs_t then
+        Alcotest.failf "inline: event count diverged after op %d" k)
+    ops;
+  Alcotest.(check int) "inline: served bytes" !st_e !st_t;
+  check_events_equal ~what:"inline"
+    (Array.of_list (List.rev_map (fun e -> (0, e)) !evs_t))
+    (Array.of_list (List.rev_map (fun e -> (0, e)) !evs_e));
+  check_state_equal ~what:"inline" t e
+
+(* Strict mode: a preference spanning two bound components raises; the
+   default mode hashes instead and counts the conflict. *)
+let strict_conflicts () =
+  let setup ~strict =
+    let t = Shard_engine.create ~shards:2 ~strict Drr_engine.Service_flags in
+    Shard_engine.add_iface t 0;
+    Shard_engine.add_iface t 1;
+    Shard_engine.add_flow t ~flow:0 ~weight:1.0 ~allowed:[ 0 ];
+    Shard_engine.add_flow t ~flow:1 ~weight:1.0 ~allowed:[ 1 ];
+    Alcotest.(check bool)
+      "two components, two shards" true
+      (Shard_engine.shard_of_iface t 0 <> Shard_engine.shard_of_iface t 1);
+    t
+  in
+  let t = setup ~strict:false in
+  Shard_engine.add_flow t ~flow:2 ~weight:1.0 ~allowed:[ 0; 1 ];
+  Alcotest.(check int) "conflict counted" 1 (Shard_engine.partition_conflicts t);
+  Alcotest.(check bool)
+    "conflicted flow still homed" true
+    (Shard_engine.shard_of_flow t 2 >= 0);
+  let t = setup ~strict:true in
+  Alcotest.check_raises "strict mode raises"
+    (Invalid_argument
+       "Shard_engine.add_flow: preference spans components bound to \
+        different shards (strict mode)") (fun () ->
+      Shard_engine.add_flow t ~flow:2 ~weight:1.0 ~allowed:[ 0; 1 ])
+
+(* --- per-shard metrics collection ---------------------------------------- *)
+
+let metrics_merge () =
+  let ops = gen_ops ~seed:23 ~groups:4 ~late_group:true ~n_ops:3000 ~storm:700 in
+  let reg_single = Metrics.create () in
+  let e = Drr_engine.create Drr_engine.Service_flags in
+  let _ = Shard_engine.run_ops_single ~metrics:reg_single e ops in
+  let reg_sharded = Metrics.create () in
+  let t = Shard_engine.create ~shards:4 ~strict:true Drr_engine.Service_flags in
+  let _ = Shard_engine.run_ops ~metrics:reg_sharded t ops in
+  let sorted l = List.sort compare l in
+  let names l = List.map fst l in
+  Alcotest.(check (list (pair string int)))
+    "merged counters equal the single registry"
+    (sorted (Metrics.counters reg_single))
+    (sorted (Metrics.counters reg_sharded));
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "merged gauges equal the single registry"
+    (sorted (Metrics.gauges reg_single))
+    (sorted (Metrics.gauges reg_sharded));
+  let hs = sorted (Metrics.histograms reg_single)
+  and hm = sorted (Metrics.histograms reg_sharded) in
+  Alcotest.(check (list string))
+    "same histogram names" (names hs) (names hm);
+  List.iter2
+    (fun (name, a) (_, b) ->
+      Alcotest.(check int)
+        (name ^ " count")
+        (Midrr_stats.Log_histogram.count a)
+        (Midrr_stats.Log_histogram.count b);
+      Alcotest.(check (float 1e-9))
+        (name ^ " sum")
+        (Midrr_stats.Log_histogram.sum a)
+        (Midrr_stats.Log_histogram.sum b);
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s p%.0f" name (q *. 100.0))
+            (Midrr_stats.Log_histogram.quantile a ~q)
+            (Midrr_stats.Log_histogram.quantile b ~q))
+        [ 0.5; 0.9; 0.99 ])
+    hs hm
+
+(* --- suite ---------------------------------------------------------------- *)
+
+let () =
+  let rand = Random.State.make [| 1443; 9 |] in
+  let qc t = QCheck_alcotest.to_alcotest ~rand t in
+  Alcotest.run "shard"
+    [
+      ( "spsc",
+        [
+          qc spsc_script_test;
+          qc spsc_slice_test;
+          Alcotest.test_case "full/empty edges" `Quick spsc_edges;
+          Alcotest.test_case "two-domain producer/consumer" `Quick
+            spsc_two_domains;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "random churn (miDRR)" `Quick
+            (run_differential ~seed:3 ~groups:4 ~late_group:true ~n_ops:4000
+               ~storm:0 ~mode:Drr_engine.Service_flags);
+          Alcotest.test_case "random churn (plain DRR)" `Quick
+            (run_differential ~seed:5 ~groups:3 ~late_group:false ~n_ops:4000
+               ~storm:0 ~mode:Drr_engine.Plain);
+          Alcotest.test_case "teardown storms" `Quick
+            (run_differential ~seed:17 ~groups:4 ~late_group:true ~n_ops:3000
+               ~storm:250 ~mode:Drr_engine.Service_flags);
+          Alcotest.test_case "inline lockstep" `Quick inline_lockstep;
+          Alcotest.test_case "strict mode and conflict accounting" `Quick
+            strict_conflicts;
+          Alcotest.test_case "fleet stream replays separably" `Quick
+            (fun () ->
+              let p =
+                Midrr_trace.Fleet.(scale default_params 0.02)
+              in
+              let ops = Midrr_trace.Fleet.ops p in
+              let e = Drr_engine.create Drr_engine.Service_flags in
+              let single = Shard_engine.run_ops_single e ops in
+              let t =
+                Shard_engine.create ~shards:8 ~strict:true
+                  Drr_engine.Service_flags
+              in
+              let st = Shard_engine.run_ops t ops in
+              Alcotest.(check int)
+                "decisions" single.rs_decisions st.rs_decisions;
+              Alcotest.(check int) "sent bytes" single.rs_sent_bytes st.rs_sent_bytes;
+              check_state_equal ~what:"fleet" t e);
+        ] );
+      ("metrics", [ Alcotest.test_case "per-shard collection merges" `Quick metrics_merge ]);
+    ]
